@@ -1,0 +1,30 @@
+"""Benchmark E8 — ablation over the stage split L = l1 + l2 (+ l3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation_stage_split import format_stage_split, run_stage_split_ablation
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_stage_split_ablation(benchmark, num_seeds):
+    """Precision / memory / work across alternative splits of L = 6."""
+    study = benchmark.pedantic(
+        run_stage_split_ablation, kwargs={"num_seeds": num_seeds}, rounds=1, iterations=1
+    )
+    print()
+    print(format_stage_split(study))
+
+    rows = {row.stage_lengths: row for row in study.rows}
+    # A larger stage-one depth drags the peak sub-graph back towards G_L(s):
+    # the (5,1) split must need at least as much memory as the paper's (3,3).
+    assert (
+        rows[(5, 1)].mean_peak_subgraph_nodes
+        >= rows[(3, 3)].mean_peak_subgraph_nodes
+    )
+    # The three-stage split keeps the peak sub-graph no larger than two-stage.
+    assert (
+        rows[(2, 2, 2)].mean_peak_subgraph_nodes
+        <= rows[(3, 3)].mean_peak_subgraph_nodes + 1
+    )

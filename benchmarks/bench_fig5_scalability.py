@@ -1,0 +1,35 @@
+"""Benchmark E1 — regenerates Fig. 5 (FPGA scalability of the diffusion phase).
+
+Run with ``pytest benchmarks/bench_fig5_scalability.py --benchmark-only``.
+The benchmark times the full sweep and prints the latency-breakdown table
+(CPU / FPGA-scheduling / FPGA-diffusion / FPGA-data-movement per parallelism)
+that mirrors the paper's bar chart.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig5_scalability import format_fig5, run_fig5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_scalability(benchmark, num_seeds):
+    """Time the Fig. 5 sweep and print the reproduced latency breakdown."""
+    study = benchmark.pedantic(
+        run_fig5, kwargs={"num_seeds": num_seeds}, rounds=1, iterations=1
+    )
+    print()
+    print(format_fig5(study))
+    speedups = study.speedup_from_first()
+    print(f"FPGA compute speedup P=1 -> P=16: {speedups[16]:.1f}x")
+
+    # Headline shapes of Fig. 5.
+    compute = [
+        point.fpga_diffusion_seconds + point.fpga_scheduling_seconds
+        for point in study.points
+    ]
+    assert compute == sorted(compute, reverse=True)
+    assert speedups[16] > 2.0
+    for point in study.points:
+        assert point.scheduling_fraction < 0.40

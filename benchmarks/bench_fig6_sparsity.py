@@ -1,0 +1,31 @@
+"""Benchmark E4 — regenerates Fig. 6 (sparsity and precision vs selection ratio)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig6_sparsity import format_fig6, run_fig6
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_sparsity(benchmark, num_seeds):
+    """Precision-vs-ratio curve on G1–G3 plus the residual score distribution."""
+    study = benchmark.pedantic(
+        run_fig6,
+        kwargs={
+            "datasets": ("G1", "G2", "G3"),
+            "ratios": (0.01, 0.02, 0.03, 0.05, 0.20, 0.30),
+            "num_seeds": num_seeds,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_fig6(study))
+
+    # Headline shapes of Fig. 6: the precision curve rises with the selection
+    # ratio and the residual score mass is concentrated on few nodes.
+    precisions = [point.precision for point in study.curve]
+    assert precisions[0] <= precisions[-1] + 0.02
+    assert precisions[-1] >= 0.5
+    assert study.distribution.top_decile_mass_fraction > 0.25

@@ -1,0 +1,35 @@
+"""Benchmark E5 — regenerates Fig. 7 (precision-latency trade-off, all graphs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig7_tradeoff import format_fig7, run_fig7
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_tradeoff(benchmark, num_seeds_large):
+    """Speedups, precision and BFS fraction per graph and operating point."""
+    study = benchmark.pedantic(
+        run_fig7,
+        kwargs={
+            "datasets": ("G1", "G2", "G3", "G4", "G5", "G6"),
+            "ratios": (0.01, 0.10),
+            "num_seeds": num_seeds_large,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_fig7(study))
+
+    # Headline shapes of Fig. 7: precision rises and the FPGA speedup falls as
+    # more next-stage nodes are computed; the co-designed system is never
+    # slower than MeLoPPR-CPU.
+    for dataset in study.datasets():
+        points = study.for_dataset(dataset)
+        assert points[0].precision <= points[-1].precision + 0.05
+        assert points[-1].fpga_speedup <= points[0].fpga_speedup * 1.2
+        for point in points:
+            assert point.meloppr_fpga_seconds <= point.meloppr_cpu_seconds * 1.05
+            assert 0.0 <= point.bfs_fraction <= 1.0

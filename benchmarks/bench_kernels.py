@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the core kernels (not a paper artefact).
+
+These benchmarks track the throughput of the building blocks the experiments
+lean on — BFS extraction, the diffusion kernel and a full MeLoPPR query — so
+performance regressions in the substrate are visible independently of the
+paper-level sweeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diffusion.diffusion import graph_diffusion, seed_vector
+from repro.graph.bfs import extract_ego_subgraph
+from repro.graph.datasets import load_dataset
+from repro.meloppr.config import MeLoPPRConfig
+from repro.meloppr.solver import MeLoPPRSolver
+from repro.ppr.local_ppr import LocalPPRSolver
+
+
+@pytest.fixture(scope="module")
+def citeseer():
+    return load_dataset("G1")
+
+
+@pytest.fixture(scope="module")
+def pubmed():
+    return load_dataset("G3")
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_bfs_extraction(benchmark, pubmed):
+    """Depth-3 ego sub-graph extraction on the pubmed stand-in."""
+    subgraph, _ = benchmark(extract_ego_subgraph, pubmed, 123, 3)
+    assert subgraph.num_nodes > 1
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_graph_diffusion(benchmark, pubmed):
+    """Length-6 diffusion on the depth-6 ego sub-graph of the pubmed stand-in."""
+    subgraph, _ = extract_ego_subgraph(pubmed, 123, 6)
+    initial = seed_vector(subgraph.num_nodes, subgraph.to_local(123))
+    result = benchmark(graph_diffusion, subgraph.graph, initial, 6, 0.85)
+    assert result.score_mass() == pytest.approx(1.0, abs=1e-6)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_local_ppr_query(benchmark, citeseer):
+    """The LocalPPR-CPU baseline answering one k=200 query."""
+    solver = LocalPPRSolver(citeseer, track_memory=False)
+    result = benchmark(solver.solve_seed, seed=42, k=200, length=6)
+    assert result.top_k_nodes(1) == [42]
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_meloppr_query(benchmark, citeseer):
+    """A full MeLoPPR query at the paper's default configuration."""
+    config = MeLoPPRConfig.paper_default(0.02)
+    solver = MeLoPPRSolver(
+        citeseer,
+        MeLoPPRConfig(
+            stage_lengths=config.stage_lengths,
+            selector=config.selector,
+            score_table_factor=config.score_table_factor,
+            track_memory=False,
+        ),
+    )
+    result = benchmark(solver.solve_seed, seed=42, k=200, length=6)
+    assert result.top_k_nodes(1) == [42]

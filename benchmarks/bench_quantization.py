@@ -1,0 +1,24 @@
+"""Benchmark E6 — regenerates the Sec. V-A fixed-point precision-loss study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.quantization_study import format_quantization, run_quantization_study
+
+
+@pytest.mark.benchmark(group="quantization")
+def test_quantization_study(benchmark, num_seeds):
+    """Integer-datapath top-k precision under the three degree-scaling rules."""
+    study = benchmark.pedantic(
+        run_quantization_study, kwargs={"num_seeds": num_seeds}, rounds=1, iterations=1
+    )
+    print()
+    print(format_quantization(study))
+
+    rows = study.by_rule()
+    # Headline shape of Sec. V-A: a larger integer scale loses less precision,
+    # and the maximum-degree scale is close to lossless.
+    assert rows["max"].mean_precision >= rows["average"].mean_precision - 0.02
+    assert rows["half-max"].mean_precision >= rows["average"].mean_precision - 0.02
+    assert rows["max"].mean_precision > 0.85

@@ -1,0 +1,26 @@
+"""Benchmark E7 — regenerates the Sec. V-B global score-table size study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.score_table_study import format_score_table, run_score_table_study
+
+
+@pytest.mark.benchmark(group="score_table")
+def test_score_table_study(benchmark, num_seeds):
+    """Precision loss of the bounded top-(c*k) score table across c values."""
+    study = benchmark.pedantic(
+        run_score_table_study,
+        kwargs={"factors": (2, 4, 8, 10, 16), "num_seeds": num_seeds},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_score_table(study))
+
+    # Headline shape of Sec. V-B: a larger table never loses more precision,
+    # and the deployed c = 10 setting is essentially lossless.
+    assert study.loss_at(10) <= study.loss_at(2) + 1e-9
+    assert study.loss_at(16) <= study.loss_at(4) + 1e-9
+    assert study.loss_at(10) < 0.05

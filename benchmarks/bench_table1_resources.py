@@ -1,0 +1,22 @@
+"""Benchmark E2 — regenerates Table I (FPGA resource utilisation vs P)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1_resources import format_table1, run_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_resources(benchmark):
+    """Evaluate the fitted resource model at the paper's parallelism values."""
+    study = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    print()
+    print(format_table1(study))
+
+    # The model must stay within a few percentage points of the paper's table
+    # and every configuration must fit on the KC705.
+    assert study.max_lut_error() < 0.03
+    assert study.max_bram_error() < 0.03
+    assert all(row.usage.fits() for row in study.rows)
+    assert all(row.usage.dsp_fraction < 0.001 for row in study.rows)

@@ -1,0 +1,52 @@
+"""Benchmark E3 — regenerates Table II (memory comparison across six graphs).
+
+The default run uses the analytical working-set model (fast, deterministic);
+pass ``--paper-scale`` to also increase the seed counts.  The paper's exact
+measurement methodology (``tracemalloc``) is available through
+``run_table2(use_tracemalloc=True)`` and is exercised, at reduced scale, by
+the dedicated tracemalloc benchmark below.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table2_memory import format_table2, run_table2
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_memory_modelled(benchmark, num_seeds_large):
+    """Table II across all six graph stand-ins with the analytical byte model."""
+    study = benchmark.pedantic(
+        run_table2,
+        kwargs={"num_seeds": num_seeds_large, "use_tracemalloc": False},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table2(study))
+
+    # Headline shapes of Table II: MeLoPPR always reduces memory on CPU, the
+    # FPGA tables are smaller still, and denser/larger graphs benefit more
+    # than the smallest citation graph.
+    for row in study.rows:
+        assert row.cpu_reduction_mean > 1.0
+        assert row.fpga_reduction_mean > row.cpu_reduction_mean
+    reductions = {row.dataset: row.fpga_reduction_mean for row in study.rows}
+    assert max(reductions.values()) > 2 * reductions["G1"] or reductions["G1"] > 50
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_memory_tracemalloc_g1(benchmark):
+    """The paper's tracemalloc measurement, restricted to G1 to stay fast."""
+    study = benchmark.pedantic(
+        run_table2,
+        kwargs={"datasets": ("G1",), "num_seeds": 2, "use_tracemalloc": True},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table2(study))
+    row = study.rows[0]
+    assert row.cpu_reduction_mean > 1.0
+    assert row.fpga_reduction_mean > 10.0

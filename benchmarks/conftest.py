@@ -1,0 +1,33 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one paper artefact (table or figure) and prints
+its rows via the experiment modules, while pytest-benchmark captures the
+runtime of the underlying sweep.  Seed counts default to small values so the
+whole harness completes in minutes; pass ``--paper-scale`` to use seed counts
+closer to the paper's averaging.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="use seed counts close to the paper's averaging (slower)",
+    )
+
+
+@pytest.fixture(scope="session")
+def num_seeds(request) -> int:
+    """Seeds per graph for the benchmark sweeps."""
+    return 20 if request.config.getoption("--paper-scale") else 3
+
+
+@pytest.fixture(scope="session")
+def num_seeds_large(request) -> int:
+    """Seeds per graph for sweeps over the large-graph stand-ins."""
+    return 10 if request.config.getoption("--paper-scale") else 2

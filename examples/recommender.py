@@ -1,0 +1,68 @@
+"""Who-to-follow style recommendations on a social-network graph.
+
+The paper motivates PPR with recommender systems (who-to-follow on Twitter,
+related products on Amazon).  This example builds a synthetic social network
+with community structure, picks a few "users", and produces their top-10
+recommendations with MeLoPPR, excluding nodes they are already connected to —
+exactly how a PPR-based recommender consumes the ranking.
+
+It also shows the latency/precision dial: the same query is answered at three
+next-stage budgets and the resulting recommendation overlap with the exact
+ranking is reported.
+
+Run with::
+
+    python examples/recommender.py
+"""
+
+from __future__ import annotations
+
+from repro.graph import community_graph
+from repro.meloppr import MeLoPPRConfig, MeLoPPRSolver, RatioSelector
+from repro.ppr import LocalPPRSolver, PPRQuery, precision_at_k
+
+
+def recommend(result, graph, user: int, count: int) -> list[int]:
+    """Top ``count`` ranked nodes that are not the user or existing contacts."""
+    existing = set(graph.neighbors(user).tolist()) | {user}
+    picks = []
+    for node, _score in result.scores.top_k(count + len(existing)):
+        if node not in existing:
+            picks.append(node)
+        if len(picks) == count:
+            break
+    return picks
+
+
+def main() -> None:
+    # A 2000-user social network with heavy-tailed degrees and clustering.
+    graph = community_graph(2_000, average_degree=6.0, rng=2024, name="social")
+    print(f"Social graph: {graph.num_nodes} users, {graph.num_edges} connections")
+
+    users = [17, 901, 1500]
+    for user in users:
+        query = PPRQuery(seed=user, k=100, alpha=0.85, length=6)
+        exact = LocalPPRSolver(graph, track_memory=False).solve(query)
+        exact_recs = recommend(exact, graph, user, 10)
+
+        print(f"\nUser {user} (degree {graph.degree(user)}):")
+        for ratio in (0.01, 0.05, 0.10):
+            config = MeLoPPRConfig(
+                stage_lengths=(3, 3),
+                selector=RatioSelector(ratio),
+                score_table_factor=10,
+                track_memory=False,
+            )
+            result = MeLoPPRSolver(graph, config).solve(query)
+            recs = recommend(result, graph, user, 10)
+            overlap = precision_at_k(recs, exact_recs, 10)
+            print(
+                f"  budget {ratio:>4.0%}: recommendations {recs[:5]}... "
+                f"overlap with exact top-10: {overlap:.0%}, "
+                f"latency {result.elapsed_seconds * 1e3:.1f} ms"
+            )
+        print(f"  exact top-10: {exact_recs}")
+
+
+if __name__ == "__main__":
+    main()

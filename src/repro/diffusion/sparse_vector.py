@@ -1,0 +1,139 @@
+"""A minimal sparse score vector keyed by node id.
+
+The global PPR vector ``S_L`` is extremely sparse for local queries (Fig. 6
+bottom: >90 % of entries are near zero), so the library carries score vectors
+as ``{node: score}``-style containers backed by NumPy arrays instead of dense
+vectors over the whole host graph.  This is also the structure the FPGA
+implementation stores in its score tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["SparseScoreVector"]
+
+
+class SparseScoreVector:
+    """A sparse mapping from node id to floating-point score.
+
+    The container supports the small set of operations the solvers need:
+    accumulation (``add``), scaling, top-k selection and conversion to/from
+    dense vectors.  Zero entries created by cancellation are kept until
+    :meth:`prune` is called.
+    """
+
+    __slots__ = ("_scores",)
+
+    def __init__(self, scores: Dict[int, float] | None = None) -> None:
+        self._scores: Dict[int, float] = dict(scores) if scores else {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(cls, nodes: np.ndarray, values: np.ndarray) -> "SparseScoreVector":
+        """Build from parallel ``nodes`` / ``values`` arrays."""
+        nodes = np.asarray(nodes)
+        values = np.asarray(values, dtype=np.float64)
+        if nodes.shape != values.shape:
+            raise ValueError("nodes and values must have the same shape")
+        vector = cls()
+        for node, value in zip(nodes, values):
+            vector.add(int(node), float(value))
+        return vector
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, tolerance: float = 0.0) -> "SparseScoreVector":
+        """Build from a dense vector, keeping entries with ``|value| > tolerance``."""
+        dense = np.asarray(dense, dtype=np.float64)
+        (nonzero,) = np.nonzero(np.abs(dense) > tolerance)
+        return cls({int(node): float(dense[node]) for node in nonzero})
+
+    def copy(self) -> "SparseScoreVector":
+        """Return a shallow copy."""
+        return SparseScoreVector(self._scores)
+
+    # ------------------------------------------------------------------
+    def add(self, node: int, value: float) -> None:
+        """Accumulate ``value`` onto ``node``."""
+        self._scores[node] = self._scores.get(node, 0.0) + value
+
+    def add_vector(self, other: "SparseScoreVector", scale: float = 1.0) -> None:
+        """Accumulate ``scale * other`` into this vector in place."""
+        for node, value in other.items():
+            self.add(node, scale * value)
+
+    def scale(self, factor: float) -> None:
+        """Multiply every entry by ``factor`` in place."""
+        for node in self._scores:
+            self._scores[node] *= factor
+
+    def prune(self, tolerance: float = 0.0) -> None:
+        """Drop entries with ``|value| <= tolerance``."""
+        self._scores = {
+            node: value for node, value in self._scores.items() if abs(value) > tolerance
+        }
+
+    # ------------------------------------------------------------------
+    def get(self, node: int, default: float = 0.0) -> float:
+        """Score of ``node`` (``default`` when absent)."""
+        return self._scores.get(node, default)
+
+    def items(self) -> Iterable[Tuple[int, float]]:
+        """Iterate over ``(node, score)`` pairs."""
+        return self._scores.items()
+
+    def nodes(self) -> np.ndarray:
+        """Array of nodes with stored entries."""
+        return np.fromiter(self._scores.keys(), dtype=np.int64, count=len(self._scores))
+
+    def values(self) -> np.ndarray:
+        """Array of stored scores, aligned with :meth:`nodes`."""
+        return np.fromiter(self._scores.values(), dtype=np.float64, count=len(self._scores))
+
+    def sum(self) -> float:
+        """Sum of all stored scores."""
+        return float(sum(self._scores.values()))
+
+    def top_k(self, k: int) -> list[Tuple[int, float]]:
+        """Return the ``k`` highest-scoring ``(node, score)`` pairs.
+
+        Ties are broken by ascending node id so results are deterministic.
+        """
+        if k <= 0:
+            return []
+        ordered = sorted(self._scores.items(), key=lambda item: (-item[1], item[0]))
+        return ordered[:k]
+
+    def top_k_nodes(self, k: int) -> list[int]:
+        """Return only the node ids of :meth:`top_k`."""
+        return [node for node, _ in self.top_k(k)]
+
+    def to_dense(self, num_nodes: int) -> np.ndarray:
+        """Return a dense vector of length ``num_nodes``."""
+        dense = np.zeros(num_nodes, dtype=np.float64)
+        for node, value in self._scores.items():
+            if node >= num_nodes or node < 0:
+                raise ValueError(
+                    f"node {node} does not fit in a dense vector of length {num_nodes}"
+                )
+            dense[node] = value
+        return dense
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint in bytes (8-byte key + 8-byte value)."""
+        return 16 * len(self._scores)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._scores
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._scores)
+
+    def __repr__(self) -> str:
+        return f"SparseScoreVector(num_entries={len(self._scores)}, sum={self.sum():.6f})"

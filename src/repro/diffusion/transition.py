@@ -1,0 +1,129 @@
+"""The random-walk transition operator ``W = A D^-1``.
+
+Graph diffusion (Eq. 1 of the paper) repeatedly applies the column-stochastic
+random-walk matrix ``W = A D^-1`` to a score vector.  This module provides
+that operator over :class:`~repro.graph.csr.CSRGraph` without materialising a
+second sparse matrix: the CSR adjacency arrays are reused directly, which is
+exactly how the FPGA sub-graph table of the paper stores neighbour lists.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["TransitionOperator"]
+
+
+class TransitionOperator:
+    """Applies ``W = A D^-1`` (and its sparse variant) to score vectors.
+
+    Parameters
+    ----------
+    graph:
+        The graph whose random-walk matrix to apply.
+
+    Notes
+    -----
+    ``W[u, v] = 1 / degree(v)`` when ``(u, v)`` is an edge.  Applying ``W`` to
+    a score vector ``S`` spreads each node's score equally over its
+    neighbours — the *propagation* step (``pg1``, ``pg2`` … in Fig. 1).
+    Isolated nodes keep a column of zeros, i.e. their score evaporates, which
+    matches the paper's treatment (a walk at a dangling node terminates).
+    """
+
+    def __init__(self, graph: CSRGraph) -> None:
+        self._graph = graph
+        degrees = graph.degrees().astype(np.float64)
+        with np.errstate(divide="ignore"):
+            inverse = np.where(degrees > 0, 1.0 / degrees, 0.0)
+        self._inverse_degrees = inverse
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> CSRGraph:
+        """The underlying graph."""
+        return self._graph
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes of the underlying graph."""
+        return self._graph.num_nodes
+
+    # ------------------------------------------------------------------
+    def apply(self, scores: np.ndarray) -> np.ndarray:
+        """Return ``W @ scores`` for a dense score vector.
+
+        The implementation is a scatter over the CSR structure: each node
+        ``v`` pushes ``scores[v] / degree(v)`` to every neighbour.
+        """
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.shape != (self.num_nodes,):
+            raise ValueError(
+                f"scores must have shape ({self.num_nodes},), got {scores.shape}"
+            )
+        contribution = scores * self._inverse_degrees
+        # Each adjacency entry (v -> neighbor) receives contribution[v]; for
+        # the undirected CSR this is symmetric, so we can gather instead of
+        # scatter: result[u] = sum over neighbors v of contribution[v].
+        graph = self._graph
+        gathered = contribution[graph.indices]
+        result = np.zeros(self.num_nodes, dtype=np.float64)
+        np.add.at(result, np.repeat(np.arange(self.num_nodes), graph.degrees()), gathered)
+        return result
+
+    def apply_sparse(self, nodes: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Apply ``W`` to a sparse vector given as ``(nodes, values)``.
+
+        Only the non-zero entries are propagated — this is the kernel the
+        FPGA diffuser runs, where the frontier of non-zero scores is small in
+        the first iterations.
+
+        Returns
+        -------
+        (nodes, values):
+            The non-zero pattern of the result, with unique, sorted nodes.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if nodes.shape != values.shape:
+            raise ValueError("nodes and values must have the same shape")
+        graph = self._graph
+        out_nodes: list[np.ndarray] = []
+        out_values: list[np.ndarray] = []
+        for node, value in zip(nodes, values):
+            if value == 0.0:
+                continue
+            neighbors = graph.neighbors(int(node))
+            if neighbors.size == 0:
+                continue
+            out_nodes.append(neighbors.astype(np.int64))
+            out_values.append(
+                np.full(neighbors.size, value * self._inverse_degrees[node])
+            )
+        if not out_nodes:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        all_nodes = np.concatenate(out_nodes)
+        all_values = np.concatenate(out_values)
+        unique, inverse = np.unique(all_nodes, return_inverse=True)
+        summed = np.zeros(unique.size, dtype=np.float64)
+        np.add.at(summed, inverse, all_values)
+        return unique, summed
+
+    def matrix(self) -> sparse.csr_matrix:
+        """Return ``W`` as an explicit scipy CSR matrix (used by tests)."""
+        adjacency = self._graph.to_scipy()
+        return adjacency @ sparse.diags(self._inverse_degrees)
+
+    def apply_power(self, scores: np.ndarray, power: int) -> np.ndarray:
+        """Return ``W^power @ scores``."""
+        if power < 0:
+            raise ValueError(f"power must be >= 0, got {power}")
+        result = np.asarray(scores, dtype=np.float64).copy()
+        for _ in range(power):
+            result = self.apply(result)
+        return result

@@ -1,0 +1,206 @@
+"""Experiment E1 — FPGA scalability study (Fig. 5 of the paper).
+
+The paper takes G1 (citeseer) as a case study and measures the latency of the
+graph-diffusion phase of a MeLoPPR query when the FPGA parallelism ``P`` grows
+from 1 to 16 at 100 MHz, next to the CPU execution of the same diffusions.
+The latency is split into CPU, FPGA-scheduling, FPGA-diffusion and
+FPGA-data-movement.  The observations to reproduce:
+
+* increasing ``P`` reduces the diffusion latency, over 10x from ``P = 1`` to
+  ``P = 16``;
+* the scheduling overhead (conflicting reads/writes between the ``P``
+  diffusers and the score tables) stays below ~20 % of the FPGA compute time
+  at ``P = 2`` and below ~40 % for larger ``P``;
+* the data-movement and CPU components do not shrink with ``P``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.reporting import format_milliseconds, format_table
+from repro.experiments.workloads import (
+    PAPER_ALPHA,
+    PAPER_K,
+    PAPER_LENGTH,
+    PAPER_STAGE_SPLIT,
+    make_workload,
+)
+from repro.hardware.accelerator import FPGAAccelerator
+from repro.hardware.pe import DiffusionTask
+from repro.utils.rng import RngLike
+
+__all__ = ["ScalabilityPoint", "ScalabilityStudy", "run_fig5", "format_fig5"]
+
+#: Parallelism values swept in Fig. 5.
+PAPER_PARALLELISMS: Tuple[int, ...] = (1, 2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    """Latency breakdown at one parallelism value (one bar group of Fig. 5)."""
+
+    parallelism: int
+    cpu_seconds: float
+    fpga_scheduling_seconds: float
+    fpga_diffusion_seconds: float
+    fpga_data_movement_seconds: float
+
+    @property
+    def fpga_seconds(self) -> float:
+        """Total modelled FPGA time."""
+        return (
+            self.fpga_scheduling_seconds
+            + self.fpga_diffusion_seconds
+            + self.fpga_data_movement_seconds
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end latency of the FPGA path (compute + data movement)."""
+        return self.fpga_seconds
+
+    @property
+    def scheduling_fraction(self) -> float:
+        """Scheduling share of the FPGA compute time (diffusion + scheduling)."""
+        compute = self.fpga_scheduling_seconds + self.fpga_diffusion_seconds
+        if compute == 0:
+            return 0.0
+        return self.fpga_scheduling_seconds / compute
+
+
+@dataclass(frozen=True)
+class ScalabilityStudy:
+    """The full Fig. 5 sweep."""
+
+    dataset: str
+    num_queries: int
+    points: Tuple[ScalabilityPoint, ...]
+
+    def speedup_from_first(self) -> Dict[int, float]:
+        """FPGA-compute speedup of each parallelism relative to ``P = 1``."""
+        base = self.points[0]
+        base_compute = base.fpga_diffusion_seconds + base.fpga_scheduling_seconds
+        result = {}
+        for point in self.points:
+            compute = point.fpga_diffusion_seconds + point.fpga_scheduling_seconds
+            result[point.parallelism] = base_compute / compute if compute > 0 else float("inf")
+        return result
+
+
+def run_fig5(
+    dataset: str = "G1",
+    parallelisms: Sequence[int] = PAPER_PARALLELISMS,
+    num_seeds: int = 10,
+    next_stage_nodes: int = 32,
+    rng: RngLike = 7,
+    scale: Optional[float] = None,
+) -> ScalabilityStudy:
+    """Run the Fig. 5 scalability sweep.
+
+    For every sampled seed node the full MeLoPPR diffusion phase (the
+    stage-one diffusion plus every selected next-stage diffusion — the work
+    the FPGA off-loads) is computed once with the software solver; its task
+    list is then replayed on the FPGA model at every parallelism value.  The
+    stage-one diffusion is split across the ``P`` diffusers (intra-diffusion
+    parallelism) while next-stage tasks are dispatched whole to idle PEs.
+    The CPU bar is the wall-clock time the software kernel spends on the same
+    diffusions (its ``diffusion`` timing bucket).
+
+    ``next_stage_nodes`` defaults to 32 so the diffusion phase contains
+    enough independent tasks to exercise all 16 PEs, matching the operating
+    point the paper's case study examines (a precision-oriented setting).
+    """
+    from repro.meloppr.config import MeLoPPRConfig
+    from repro.meloppr.selection import CountSelector
+    from repro.meloppr.solver import MeLoPPRSolver
+    from repro.hardware.cosim import tasks_from_records
+
+    workload = make_workload(
+        dataset,
+        num_seeds=num_seeds,
+        k=PAPER_K,
+        length=PAPER_LENGTH,
+        alpha=PAPER_ALPHA,
+        rng=rng,
+        scale=scale,
+    )
+    config = MeLoPPRConfig(
+        stage_lengths=PAPER_STAGE_SPLIT,
+        selector=CountSelector(next_stage_nodes),
+        score_table_factor=10,
+        track_memory=False,
+    )
+    solver = MeLoPPRSolver(workload.graph, config)
+
+    per_seed_tasks: List[List[DiffusionTask]] = []
+    cpu_seconds: List[float] = []
+    for query in workload.queries:
+        result = solver.solve(query)
+        per_seed_tasks.append(
+            tasks_from_records(
+                result.metadata["tasks"], result.metadata["stage_lengths"]
+            )
+        )
+        cpu_seconds.append(result.timing.seconds.get("diffusion", 0.0))
+
+    mean_cpu_seconds = float(np.mean(cpu_seconds))
+    points: List[ScalabilityPoint] = []
+    for parallelism in parallelisms:
+        accelerator = FPGAAccelerator(
+            parallelism=parallelism, k=PAPER_K, score_table_factor=10
+        )
+        scheduling_values = []
+        diffusion_values = []
+        movement_values = []
+        for tasks in per_seed_tasks:
+            report = accelerator.execute(tasks)
+            scheduling_values.append(report.scheduling_seconds)
+            diffusion_values.append(report.diffusion_seconds)
+            movement_values.append(report.data_movement_seconds)
+        points.append(
+            ScalabilityPoint(
+                parallelism=parallelism,
+                cpu_seconds=mean_cpu_seconds,
+                fpga_scheduling_seconds=float(np.mean(scheduling_values)),
+                fpga_diffusion_seconds=float(np.mean(diffusion_values)),
+                fpga_data_movement_seconds=float(np.mean(movement_values)),
+            )
+        )
+
+    return ScalabilityStudy(
+        dataset=dataset, num_queries=workload.num_queries, points=tuple(points)
+    )
+
+
+def format_fig5(study: ScalabilityStudy) -> str:
+    """Render the sweep as a text table mirroring the Fig. 5 bar groups."""
+    headers = [
+        "P",
+        "CPU (ms)",
+        "FPGA-Scheduling (ms)",
+        "FPGA-Diffusion (ms)",
+        "FPGA-Data Movement (ms)",
+        "FPGA total (ms)",
+        "Sched. fraction",
+    ]
+    rows = [
+        [
+            point.parallelism,
+            format_milliseconds(point.cpu_seconds),
+            format_milliseconds(point.fpga_scheduling_seconds),
+            format_milliseconds(point.fpga_diffusion_seconds),
+            format_milliseconds(point.fpga_data_movement_seconds),
+            format_milliseconds(point.total_seconds),
+            f"{point.scheduling_fraction:.1%}",
+        ]
+        for point in study.points
+    ]
+    title = (
+        f"Fig. 5 — FPGA scalability of one graph diffusion on {study.dataset} "
+        f"(averaged over {study.num_queries} seeds)"
+    )
+    return format_table(headers, rows, title=title)

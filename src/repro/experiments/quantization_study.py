@@ -1,0 +1,164 @@
+"""Experiment E6 — fixed-point precision-loss study (Sec. V-A of the paper).
+
+The FPGA datapath represents scores as 32-bit integers with the seed node set
+to ``Max = d * |G_L(s)|`` and the decay multiplication realised as a 16-bit
+numerator and a ``q``-bit shift.  The paper reports:
+
+* ``d`` = average degree of ``G_L(s)``   -> precision loss below 4 %;
+* ``d`` = maximum degree of ``G_L(s)``   -> precision loss below 0.001 %;
+* the deployed configuration uses ``d`` = half the maximum degree, ``q = 10``.
+
+The study runs the integer diffusion next to the floating-point diffusion on
+the same depth-``L`` ego sub-graphs and reports the top-k precision of the
+integer result against the float result for each scaling rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.diffusion.diffusion import graph_diffusion, seed_vector
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import (
+    PAPER_ALPHA,
+    PAPER_K,
+    PAPER_LENGTH,
+    make_workload,
+)
+from repro.graph.bfs import extract_ego_subgraph
+from repro.meloppr.fixed_point import FixedPointFormat, fixed_point_diffusion
+from repro.ppr.metrics import precision_at_k
+from repro.utils.rng import RngLike
+
+__all__ = ["QuantizationRow", "QuantizationStudy", "run_quantization_study", "format_quantization"]
+
+#: The degree-scaling rules compared in Sec. V-A.
+PAPER_SCALES: Tuple[str, ...] = ("average", "half-max", "max")
+
+
+@dataclass(frozen=True)
+class QuantizationRow:
+    """Precision of the integer datapath under one degree-scaling rule."""
+
+    scale_rule: str
+    mean_precision: float
+    min_precision: float
+    mean_precision_loss: float
+
+
+@dataclass(frozen=True)
+class QuantizationStudy:
+    """The full Sec. V-A sweep."""
+
+    dataset: str
+    num_seeds: int
+    k: int
+    shift_bits: int
+    rows: Tuple[QuantizationRow, ...]
+
+    def by_rule(self) -> Dict[str, QuantizationRow]:
+        """Rows keyed by scaling rule."""
+        return {row.scale_rule: row for row in self.rows}
+
+
+def _degree_scale(rule: str, degrees: np.ndarray) -> float:
+    """Map a scaling rule name to the degree value ``d`` of Sec. V-A."""
+    if degrees.size == 0:
+        return 1.0
+    if rule == "average":
+        return float(max(degrees.mean(), 1.0))
+    if rule == "half-max":
+        return float(max(degrees.max() / 2.0, 1.0))
+    if rule == "max":
+        return float(max(degrees.max(), 1.0))
+    raise ValueError(f"unknown scale rule {rule!r}")
+
+
+def run_quantization_study(
+    dataset: str = "G1",
+    scale_rules: Sequence[str] = PAPER_SCALES,
+    num_seeds: int = 10,
+    k: int = PAPER_K,
+    shift_bits: int = 10,
+    rng: RngLike = 23,
+    scale: Optional[float] = None,
+) -> QuantizationStudy:
+    """Run the integer-vs-float precision comparison of Sec. V-A."""
+    workload = make_workload(
+        dataset,
+        num_seeds=num_seeds,
+        k=k,
+        length=PAPER_LENGTH,
+        alpha=PAPER_ALPHA,
+        rng=rng,
+        scale=scale,
+    )
+    per_rule_precisions: Dict[str, List[float]] = {rule: [] for rule in scale_rules}
+
+    for query in workload.queries:
+        subgraph, _ = extract_ego_subgraph(workload.graph, query.seed, query.length)
+        local_seed = subgraph.to_local(query.seed)
+        initial = seed_vector(subgraph.num_nodes, local_seed)
+        float_result = graph_diffusion(
+            subgraph.graph, initial, query.length, query.alpha
+        )
+        float_order = np.argsort(-float_result.accumulated, kind="stable")
+        float_topk = [int(node) for node in float_order[: query.k]]
+
+        degrees = subgraph.graph.degrees()
+        for rule in scale_rules:
+            fmt = FixedPointFormat.for_subgraph(
+                alpha=query.alpha,
+                subgraph_nodes=subgraph.num_nodes,
+                degree_scale=_degree_scale(rule, degrees),
+                shift_bits=shift_bits,
+            )
+            int_result = fixed_point_diffusion(
+                subgraph.graph, local_seed, query.length, fmt
+            )
+            int_order = np.argsort(-int_result.accumulated_int, kind="stable")
+            int_topk = [int(node) for node in int_order[: query.k]]
+            per_rule_precisions[rule].append(
+                precision_at_k(int_topk, float_topk, min(query.k, subgraph.num_nodes))
+            )
+
+    rows = []
+    for rule in scale_rules:
+        values = np.asarray(per_rule_precisions[rule])
+        rows.append(
+            QuantizationRow(
+                scale_rule=rule,
+                mean_precision=float(values.mean()),
+                min_precision=float(values.min()),
+                mean_precision_loss=float(1.0 - values.mean()),
+            )
+        )
+    return QuantizationStudy(
+        dataset=dataset,
+        num_seeds=num_seeds,
+        k=k,
+        shift_bits=shift_bits,
+        rows=tuple(rows),
+    )
+
+
+def format_quantization(study: QuantizationStudy) -> str:
+    """Render the study as a text table."""
+    headers = ["Degree scale d", "Mean precision", "Min precision", "Mean loss"]
+    rows = [
+        [
+            row.scale_rule,
+            f"{row.mean_precision:.3%}",
+            f"{row.min_precision:.3%}",
+            f"{row.mean_precision_loss:.3%}",
+        ]
+        for row in study.rows
+    ]
+    title = (
+        f"Sec. V-A — fixed-point precision loss on {study.dataset} "
+        f"(q={study.shift_bits}, {study.num_seeds} seeds, k={study.k})"
+    )
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,69 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every experiment module returns structured dataclasses *and* can render a
+text table with the same rows/columns the paper reports, so running the
+benchmark harness prints something directly comparable with the paper's
+tables and figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_ratio", "format_megabytes", "format_milliseconds"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a simple aligned text table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Row values; every row must have the same length as ``headers``.
+    title:
+        Optional title printed above the table.
+    """
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(str(header)) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def _line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(_line([str(h) for h in headers]))
+    lines.append(_line(["-" * w for w in widths]))
+    lines.extend(_line(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def format_ratio(value: float) -> str:
+    """Format a reduction/speedup factor like the paper (``13.43x``)."""
+    if value == float("inf"):
+        return "inf"
+    return f"{value:.2f}x"
+
+
+def format_megabytes(value_bytes: float) -> str:
+    """Format a byte count in megabytes with three decimals (Table II style)."""
+    return f"{value_bytes / (1024.0 * 1024.0):.3f}"
+
+
+def format_milliseconds(value_seconds: float) -> str:
+    """Format seconds as milliseconds with three decimals."""
+    return f"{value_seconds * 1e3:.3f}"

@@ -1,0 +1,117 @@
+"""Workload definitions shared by all experiments.
+
+The paper evaluates every experiment with ``k = 200``, ``L = 6`` and
+``l1 = l2 = 3``, averaging over randomly chosen seed nodes (1000 seeds for
+Fig. 6, 500 for Fig. 7).  This module centralises those choices, the seed
+sampling, and the per-graph workload records so every benchmark uses exactly
+the same queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import load_dataset
+from repro.ppr.base import PPRQuery
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["PAPER_K", "PAPER_LENGTH", "PAPER_STAGE_SPLIT", "Workload", "make_workload"]
+
+#: k, L and the stage split fixed for all of the paper's experiments (Sec. VI).
+PAPER_K = 200
+PAPER_LENGTH = 6
+PAPER_STAGE_SPLIT: Tuple[int, int] = (3, 3)
+PAPER_ALPHA = 0.85
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A graph plus the set of queries an experiment runs on it.
+
+    Attributes
+    ----------
+    dataset:
+        Dataset key or name the graph was loaded from.
+    graph:
+        The loaded (stand-in) graph.
+    queries:
+        The PPR queries, one per sampled seed node.
+    """
+
+    dataset: str
+    graph: CSRGraph
+    queries: Tuple[PPRQuery, ...]
+
+    @property
+    def num_queries(self) -> int:
+        """Number of queries in the workload."""
+        return len(self.queries)
+
+    @property
+    def seeds(self) -> Tuple[int, ...]:
+        """The sampled seed nodes."""
+        return tuple(query.seed for query in self.queries)
+
+
+def sample_seeds(
+    graph: CSRGraph,
+    num_seeds: int,
+    rng: RngLike = None,
+    min_degree: int = 1,
+) -> np.ndarray:
+    """Sample ``num_seeds`` distinct seed nodes with degree >= ``min_degree``.
+
+    Degree-0 nodes are excluded because a PPR query from an isolated node is
+    trivially its own answer (and the paper's graphs have none).
+    """
+    if num_seeds <= 0:
+        raise ValueError(f"num_seeds must be > 0, got {num_seeds}")
+    generator = ensure_rng(rng)
+    degrees = graph.degrees()
+    (eligible,) = np.nonzero(degrees >= min_degree)
+    if eligible.size == 0:
+        raise ValueError("graph has no node satisfying the degree constraint")
+    count = min(num_seeds, eligible.size)
+    return generator.choice(eligible, size=count, replace=False)
+
+
+def make_workload(
+    dataset: str,
+    num_seeds: int = 20,
+    k: int = PAPER_K,
+    length: int = PAPER_LENGTH,
+    alpha: float = PAPER_ALPHA,
+    rng: RngLike = None,
+    scale: Optional[float] = None,
+    graph: Optional[CSRGraph] = None,
+) -> Workload:
+    """Build a workload for one paper dataset (or a user-provided graph).
+
+    Parameters
+    ----------
+    dataset:
+        Dataset key (``"G1"``..) or name; ignored when ``graph`` is given
+        except as a label.
+    num_seeds:
+        Number of random seed nodes to query.  The paper uses 500–1000; the
+        default is lower so test/bench runs stay fast — pass the full count to
+        reproduce the paper's averaging exactly.
+    k, length, alpha:
+        Query parameters (paper defaults).
+    rng:
+        Seed sampling randomness (deterministic by default).
+    scale:
+        Optional dataset down-scaling factor.
+    graph:
+        Optional pre-loaded graph (skips :func:`load_dataset`).
+    """
+    loaded = graph if graph is not None else load_dataset(dataset, scale=scale)
+    seeds = sample_seeds(loaded, num_seeds, rng=rng)
+    queries = tuple(
+        PPRQuery(seed=int(seed), k=k, alpha=alpha, length=length) for seed in seeds
+    )
+    return Workload(dataset=dataset, graph=loaded, queries=queries)

@@ -1,0 +1,143 @@
+"""Incremental graph construction.
+
+:class:`GraphBuilder` collects edges (from generators, files or user code),
+cleans them up (self-loop removal, de-duplication, optional symmetrisation)
+and emits an immutable :class:`~repro.graph.csr.CSRGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.utils.validation import check_non_negative_int
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Accumulate edges and build a :class:`CSRGraph`.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes if known up front.  When omitted, the node count is
+        inferred as ``max(edge endpoints) + 1`` at build time.
+    directed:
+        When ``False`` (default) the built graph is undirected: each added
+        edge is stored in both directions.  ``True`` keeps edges as given;
+        this is only used by internal tooling (the paper's graphs are
+        undirected).
+    """
+
+    def __init__(self, num_nodes: Optional[int] = None, directed: bool = False) -> None:
+        if num_nodes is not None:
+            num_nodes = check_non_negative_int(num_nodes, "num_nodes")
+        self._num_nodes = num_nodes
+        self._directed = bool(directed)
+        self._sources: List[np.ndarray] = []
+        self._targets: List[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def directed(self) -> bool:
+        """Whether the builder produces a directed graph."""
+        return self._directed
+
+    @property
+    def num_pending_edges(self) -> int:
+        """Number of edge tuples added so far (before cleaning)."""
+        return int(sum(chunk.size for chunk in self._sources))
+
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int) -> "GraphBuilder":
+        """Add a single edge ``(u, v)``.  Returns ``self`` for chaining."""
+        return self.add_edges([(u, v)])
+
+    def add_edges(self, edges: Iterable[Tuple[int, int]]) -> "GraphBuilder":
+        """Add many edges at once.
+
+        ``edges`` may be any iterable of pairs or an ``(n, 2)`` array.
+        """
+        array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        if array.size == 0:
+            return self
+        if array.ndim != 2 or array.shape[1] != 2:
+            raise ValueError("edges must be an iterable of (u, v) pairs")
+        if np.any(array < 0):
+            raise ValueError("edge endpoints must be non-negative node ids")
+        self._sources.append(array[:, 0].astype(np.int64))
+        self._targets.append(array[:, 1].astype(np.int64))
+        return self
+
+    def add_star(self, center: int, leaves: Iterable[int]) -> "GraphBuilder":
+        """Add edges from ``center`` to every node in ``leaves``."""
+        leaves = np.asarray(list(leaves), dtype=np.int64)
+        if leaves.size == 0:
+            return self
+        centers = np.full(leaves.size, center, dtype=np.int64)
+        return self.add_edges(np.column_stack([centers, leaves]))
+
+    def add_path(self, nodes: Iterable[int]) -> "GraphBuilder":
+        """Add a path through ``nodes`` in order."""
+        nodes = np.asarray(list(nodes), dtype=np.int64)
+        if nodes.size < 2:
+            return self
+        return self.add_edges(np.column_stack([nodes[:-1], nodes[1:]]))
+
+    def add_cycle(self, nodes: Iterable[int]) -> "GraphBuilder":
+        """Add a cycle through ``nodes`` in order."""
+        nodes = list(nodes)
+        if len(nodes) < 3:
+            raise ValueError("a cycle needs at least three nodes")
+        self.add_path(nodes)
+        return self.add_edge(nodes[-1], nodes[0])
+
+    # ------------------------------------------------------------------
+    def build(self, name: str = "graph") -> CSRGraph:
+        """Clean up the accumulated edges and return an immutable graph."""
+        if self._sources:
+            sources = np.concatenate(self._sources)
+            targets = np.concatenate(self._targets)
+        else:
+            sources = np.empty(0, dtype=np.int64)
+            targets = np.empty(0, dtype=np.int64)
+
+        num_nodes = self._num_nodes
+        if num_nodes is None:
+            num_nodes = int(max(sources.max(initial=-1), targets.max(initial=-1)) + 1)
+            num_nodes = max(num_nodes, 0)
+        else:
+            if sources.size and max(sources.max(), targets.max()) >= num_nodes:
+                raise ValueError(
+                    "edge endpoints exceed the declared num_nodes "
+                    f"({num_nodes})"
+                )
+
+        # Remove self loops.
+        keep = sources != targets
+        sources, targets = sources[keep], targets[keep]
+
+        if not self._directed:
+            # Store each undirected edge in both directions before dedup.
+            sources, targets = (
+                np.concatenate([sources, targets]),
+                np.concatenate([targets, sources]),
+            )
+
+        # De-duplicate using a linearised key.
+        if sources.size:
+            keys = sources * np.int64(num_nodes) + targets
+            unique_keys = np.unique(keys)
+            sources = unique_keys // num_nodes
+            targets = unique_keys % num_nodes
+
+        # Build CSR: counting sort over sources.
+        counts = np.bincount(sources, minlength=num_nodes).astype(np.int64)
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        order = np.argsort(sources, kind="stable")
+        indices = targets[order].astype(np.int32)
+        return CSRGraph(indptr, indices, name=name)

@@ -1,0 +1,242 @@
+"""Immutable compressed-sparse-row (CSR) graph.
+
+The paper stores graphs and performs matrix–vector products in CSR format
+(Sec. VI).  :class:`CSRGraph` is the single graph representation used by every
+kernel in this library: the diffusion operator, BFS sub-graph extraction, the
+FPGA processing-element model and the baselines all read the same three
+arrays (``indptr``, ``indices`` and the node count).
+
+Nodes are contiguous integers ``0 .. num_nodes - 1``.  Graphs are simple and
+undirected unless built otherwise: the builder symmetrises edges, removes
+self-loops and removes duplicates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.utils.validation import check_node_id
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """An immutable undirected graph stored in CSR adjacency format.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``num_nodes + 1``; row pointer of the CSR
+        adjacency structure.
+    indices:
+        ``int32`` array of length ``num_edges_directed``; concatenated
+        neighbour lists.  For an undirected graph every edge appears twice
+        (once per endpoint).
+    name:
+        Optional human-readable name (dataset name).
+
+    Notes
+    -----
+    Use :class:`repro.graph.builder.GraphBuilder` or the module-level
+    constructors (:meth:`from_edges`, :meth:`from_scipy`) rather than calling
+    this constructor with hand-built arrays.
+    """
+
+    __slots__ = ("_indptr", "_indices", "_name")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        name: str = "graph",
+    ) -> None:
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int32)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be one-dimensional arrays")
+        if indptr.size == 0:
+            raise ValueError("indptr must have at least one entry")
+        if indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if indptr[-1] != indices.size:
+            raise ValueError(
+                f"indptr[-1] ({indptr[-1]}) must equal len(indices) ({indices.size})"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        num_nodes = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= num_nodes):
+            raise ValueError("indices contain node ids outside [0, num_nodes)")
+        self._indptr = indptr
+        self._indices = indices
+        self._name = str(name)
+        self._indptr.setflags(write=False)
+        self._indices.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        edges: Iterable[Tuple[int, int]],
+        name: str = "graph",
+        directed: bool = False,
+    ) -> "CSRGraph":
+        """Build a graph from an iterable of ``(u, v)`` pairs.
+
+        Self-loops and duplicate edges are dropped.  When ``directed`` is
+        false (the default, matching the paper's simple undirected graphs)
+        each edge is stored in both directions.
+        """
+        from repro.graph.builder import GraphBuilder
+
+        builder = GraphBuilder(num_nodes=num_nodes, directed=directed)
+        builder.add_edges(edges)
+        return builder.build(name=name)
+
+    @classmethod
+    def from_scipy(cls, matrix: sparse.spmatrix, name: str = "graph") -> "CSRGraph":
+        """Build a graph from a scipy sparse adjacency matrix.
+
+        The matrix is symmetrised (``max(A, A.T)`` pattern union), its diagonal
+        is dropped and values are ignored: only the sparsity pattern matters.
+        """
+        matrix = sparse.csr_matrix(matrix)
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"adjacency matrix must be square, got {matrix.shape}")
+        matrix = matrix.maximum(matrix.T)
+        matrix.setdiag(0)
+        matrix.eliminate_zeros()
+        matrix.sort_indices()
+        return cls(matrix.indptr.astype(np.int64), matrix.indices, name=name)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Human-readable graph name."""
+        return self._name
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``|V|``."""
+        return self._indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|`` (each stored twice internally)."""
+        return self._indices.size // 2
+
+    @property
+    def num_directed_edges(self) -> int:
+        """Number of stored (directed) adjacency entries."""
+        return int(self._indices.size)
+
+    @property
+    def size(self) -> int:
+        """Graph size ``|V| + |E|`` as defined in the paper's preliminaries."""
+        return self.num_nodes + self.num_edges
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Read-only CSR row-pointer array (length ``num_nodes + 1``)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Read-only CSR column-index array."""
+        return self._indices
+
+    # ------------------------------------------------------------------
+    # Neighbourhood access
+    # ------------------------------------------------------------------
+    def degree(self, node: int) -> int:
+        """Degree of ``node``."""
+        node = check_node_id(node, self.num_nodes)
+        return int(self._indptr[node + 1] - self._indptr[node])
+
+    def degrees(self) -> np.ndarray:
+        """Array of all node degrees (``int64``)."""
+        return np.diff(self._indptr)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Read-only array of the neighbours of ``node``."""
+        node = check_node_id(node, self.num_nodes)
+        return self._indices[self._indptr[node] : self._indptr[node + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` if the edge ``(u, v)`` exists."""
+        u = check_node_id(u, self.num_nodes, "u")
+        v = check_node_id(v, self.num_nodes, "v")
+        row = self.neighbors(u)
+        position = np.searchsorted(row, v)
+        return bool(position < row.size and row[position] == v)
+
+    def iter_edges(self) -> Iterator[Tuple[int, int]]:
+        """Yield each undirected edge once as ``(u, v)`` with ``u < v``."""
+        for u in range(self.num_nodes):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield u, int(v)
+
+    def edge_array(self) -> np.ndarray:
+        """Return all undirected edges once as an ``(|E|, 2)`` array."""
+        sources = np.repeat(np.arange(self.num_nodes), self.degrees())
+        mask = sources < self._indices
+        return np.column_stack([sources[mask], self._indices[mask]])
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_scipy(self) -> sparse.csr_matrix:
+        """Return the (unweighted) adjacency matrix as scipy CSR."""
+        data = np.ones(self._indices.size, dtype=np.float64)
+        return sparse.csr_matrix(
+            (data, self._indices.astype(np.int64), self._indptr),
+            shape=(self.num_nodes, self.num_nodes),
+        )
+
+    def to_networkx(self):
+        """Return an equivalent ``networkx.Graph`` (node ids preserved)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_nodes))
+        graph.add_edges_from(self.iter_edges())
+        return graph
+
+    # ------------------------------------------------------------------
+    # Storage accounting
+    # ------------------------------------------------------------------
+    def nbytes(self) -> int:
+        """Bytes used by the CSR arrays (the CPU-side storage of the graph)."""
+        return int(self._indptr.nbytes + self._indices.nbytes)
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRGraph(name={self._name!r}, num_nodes={self.num_nodes}, "
+            f"num_edges={self.num_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hash is sufficient
+        return id(self)

@@ -1,0 +1,77 @@
+"""Descriptive statistics over graphs.
+
+Used by the dataset documentation, the experiments (which report per-graph
+average/maximum degree — the fixed-point scaling of Sec. V-A depends on them)
+and by tests that check the synthetic stand-ins land in the right structural
+regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["GraphStats", "compute_stats", "degree_histogram"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a graph."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    min_degree: int
+    max_degree: int
+    average_degree: float
+    median_degree: float
+    density: float
+    isolated_nodes: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the statistics as a plain dictionary (for reporting)."""
+        return {
+            "name": self.name,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "min_degree": self.min_degree,
+            "max_degree": self.max_degree,
+            "average_degree": self.average_degree,
+            "median_degree": self.median_degree,
+            "density": self.density,
+            "isolated_nodes": self.isolated_nodes,
+        }
+
+
+def compute_stats(graph: CSRGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    degrees = graph.degrees()
+    num_nodes = graph.num_nodes
+    num_edges = graph.num_edges
+    if num_nodes == 0:
+        return GraphStats(graph.name, 0, 0, 0, 0, 0.0, 0.0, 0.0, 0)
+    max_pairs = num_nodes * (num_nodes - 1) / 2.0
+    density = num_edges / max_pairs if max_pairs > 0 else 0.0
+    return GraphStats(
+        name=graph.name,
+        num_nodes=num_nodes,
+        num_edges=num_edges,
+        min_degree=int(degrees.min()),
+        max_degree=int(degrees.max()),
+        average_degree=float(degrees.mean()),
+        median_degree=float(np.median(degrees)),
+        density=float(density),
+        isolated_nodes=int(np.count_nonzero(degrees == 0)),
+    )
+
+
+def degree_histogram(graph: CSRGraph) -> np.ndarray:
+    """Return ``hist`` where ``hist[d]`` is the number of nodes with degree ``d``."""
+    degrees = graph.degrees()
+    if degrees.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(degrees)

@@ -1,0 +1,133 @@
+"""Induced sub-graphs with global↔local node-id mapping.
+
+MeLoPPR never loads the full graph into "on-chip" memory; every diffusion is
+executed on a small induced sub-graph whose nodes are relabelled to a dense
+local id range.  :class:`Subgraph` couples the relabelled
+:class:`~repro.graph.csr.CSRGraph` with the mapping back to global ids, which
+the aggregation step (Eq. 8) needs when it folds local scores into the global
+score table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["Subgraph"]
+
+
+class Subgraph:
+    """A relabelled induced sub-graph of a host :class:`CSRGraph`.
+
+    Attributes
+    ----------
+    graph:
+        The induced sub-graph with local node ids ``0..num_nodes-1``.
+    global_ids:
+        ``global_ids[local]`` is the host-graph id of local node ``local``.
+    """
+
+    __slots__ = ("graph", "global_ids", "_local_of")
+
+    def __init__(self, graph: CSRGraph, global_ids: np.ndarray) -> None:
+        global_ids = np.asarray(global_ids, dtype=np.int64)
+        if global_ids.size != graph.num_nodes:
+            raise ValueError(
+                "global_ids length must equal the sub-graph node count "
+                f"({global_ids.size} != {graph.num_nodes})"
+            )
+        if np.unique(global_ids).size != global_ids.size:
+            raise ValueError("global_ids must be unique")
+        self.graph = graph
+        self.global_ids = global_ids
+        self.global_ids.setflags(write=False)
+        self._local_of: Dict[int, int] = {
+            int(g): i for i, g in enumerate(global_ids)
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def induced(
+        cls, host: CSRGraph, nodes: Iterable[int], name: Optional[str] = None
+    ) -> "Subgraph":
+        """Build the sub-graph induced by ``nodes`` (order defines local ids)."""
+        global_ids = np.asarray(list(nodes), dtype=np.int64)
+        if np.unique(global_ids).size != global_ids.size:
+            raise ValueError("nodes must be unique")
+        local_of = np.full(host.num_nodes, -1, dtype=np.int64)
+        local_of[global_ids] = np.arange(global_ids.size)
+
+        if global_ids.size:
+            starts = host.indptr[global_ids]
+            ends = host.indptr[global_ids + 1]
+            counts = ends - starts
+            if global_ids.size == 1:
+                gathered = host.indices[starts[0] : ends[0]]
+            else:
+                gathered = np.concatenate(
+                    [host.indices[s:e] for s, e in zip(starts, ends)]
+                )
+            mapped = local_of[gathered]
+            sources = np.repeat(np.arange(global_ids.size), counts)
+            keep = mapped >= 0
+            sources, mapped = sources[keep], mapped[keep]
+            order = np.lexsort((mapped, sources))
+            indices = mapped[order].astype(np.int32)
+            kept_counts = np.bincount(sources, minlength=global_ids.size)
+            indptr = np.zeros(global_ids.size + 1, dtype=np.int64)
+            np.cumsum(kept_counts, out=indptr[1:])
+        else:
+            indptr = np.zeros(1, dtype=np.int64)
+            indices = np.empty(0, dtype=np.int32)
+        sub_name = name if name is not None else f"{host.name}:induced"
+        return cls(CSRGraph(indptr, indices, name=sub_name), global_ids)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the sub-graph."""
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges in the sub-graph."""
+        return self.graph.num_edges
+
+    def to_local(self, global_id: int) -> int:
+        """Map a host-graph node id to its local id (raises ``KeyError`` if absent)."""
+        return self._local_of[int(global_id)]
+
+    def contains_global(self, global_id: int) -> bool:
+        """Whether the host-graph node ``global_id`` is part of this sub-graph."""
+        return int(global_id) in self._local_of
+
+    def to_global(self, local_id: int) -> int:
+        """Map a local node id back to the host-graph id."""
+        return int(self.global_ids[local_id])
+
+    def localize_vector(self, global_vector: np.ndarray) -> np.ndarray:
+        """Gather the entries of a global score vector for this sub-graph's nodes."""
+        global_vector = np.asarray(global_vector)
+        if global_vector.ndim != 1:
+            raise ValueError("global_vector must be one-dimensional")
+        return global_vector[self.global_ids]
+
+    def globalize_scores(self, local_scores: np.ndarray, num_global_nodes: int) -> np.ndarray:
+        """Scatter local scores back into a dense global vector of zeros."""
+        local_scores = np.asarray(local_scores, dtype=np.float64)
+        if local_scores.size != self.num_nodes:
+            raise ValueError(
+                "local_scores length must equal the sub-graph node count"
+            )
+        result = np.zeros(num_global_nodes, dtype=np.float64)
+        result[self.global_ids] = local_scores
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"Subgraph(name={self.graph.name!r}, num_nodes={self.num_nodes}, "
+            f"num_edges={self.num_edges})"
+        )

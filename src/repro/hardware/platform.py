@@ -1,0 +1,133 @@
+"""Platform descriptions of the paper's evaluation hardware.
+
+Two devices appear in Sec. VI:
+
+* a personal laptop with an Intel i7 at 2.8 GHz and 16 GB of memory (the CPU
+  side of the co-design and the pure-CPU baselines), and
+* a Xilinx Kintex-7 KC705 evaluation board clocked at 100 MHz (the FPGA side).
+
+Neither device is available here, so both are represented by parameter
+records that the cycle/latency models consume.  The CPU's *effective edge
+processing rate* is calibrated against the Python implementation at import
+time-free default values; experiments may recalibrate it from a measured BFS
+so that modelled CPU time and measured CPU time line up on the same machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FPGASpec", "CPUSpec", "KC705", "LAPTOP_CPU"]
+
+
+@dataclass(frozen=True)
+class FPGASpec:
+    """Static description of an FPGA device and its clocking.
+
+    Attributes
+    ----------
+    name:
+        Device name.
+    clock_hz:
+        PL clock frequency (the paper runs the KC705 at 100 MHz).
+    total_luts:
+        Number of LUTs available on the device.
+    total_bram_bytes:
+        Total block-RAM capacity in bytes.
+    total_bram_blocks:
+        Number of 36 Kb BRAM blocks.
+    total_dsps:
+        Number of DSP48 slices.
+    pcie_bandwidth_bytes_per_s:
+        Effective host↔card streaming bandwidth for the data-transfer model.
+    pcie_latency_s:
+        Fixed per-transfer latency (driver + DMA setup).
+    """
+
+    name: str
+    clock_hz: float
+    total_luts: int
+    total_bram_bytes: int
+    total_bram_blocks: int
+    total_dsps: int
+    pcie_bandwidth_bytes_per_s: float
+    pcie_latency_s: float
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Seconds per PL clock cycle."""
+        return 1.0 / self.clock_hz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count into seconds at the PL clock."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be >= 0, got {cycles}")
+        return cycles * self.cycle_time_s
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Description of the host CPU used by the analytical CPU-time model.
+
+    Attributes
+    ----------
+    name:
+        Processor name.
+    clock_hz:
+        Nominal clock.
+    memory_bytes:
+        Installed DRAM.
+    edges_per_second:
+        Effective BFS edge-traversal throughput of the *software stack being
+        modelled* (graph library + Python overheads), used when converting
+        BFS work into modelled CPU seconds.  The default is calibrated to the
+        NetworkX-based implementation the paper measures; it can be replaced
+        by a measured value via :meth:`calibrated`.
+    """
+
+    name: str
+    clock_hz: float
+    memory_bytes: int
+    edges_per_second: float
+
+    def bfs_seconds(self, edges_scanned: int) -> float:
+        """Modelled CPU time to scan ``edges_scanned`` adjacency entries."""
+        if edges_scanned < 0:
+            raise ValueError("edges_scanned must be >= 0")
+        return edges_scanned / self.edges_per_second
+
+    def calibrated(self, edges_per_second: float) -> "CPUSpec":
+        """Return a copy with a measured edge-traversal throughput."""
+        if edges_per_second <= 0:
+            raise ValueError("edges_per_second must be > 0")
+        return CPUSpec(
+            name=self.name,
+            clock_hz=self.clock_hz,
+            memory_bytes=self.memory_bytes,
+            edges_per_second=edges_per_second,
+        )
+
+
+#: Xilinx Kintex-7 KC705 (XC7K325T): 203,800 LUTs, 445 36-Kb BRAM blocks
+#: (~16 Mb = 2,004,480 bytes usable), 840 DSP48 slices.  PCIe Gen2 x8 board;
+#: the transfer model uses a conservative effective bandwidth.
+KC705 = FPGASpec(
+    name="Xilinx Kintex-7 KC705 (XC7K325T)",
+    clock_hz=100e6,
+    total_luts=203_800,
+    total_bram_bytes=445 * 36 * 1024 // 8,
+    total_bram_blocks=445,
+    total_dsps=840,
+    pcie_bandwidth_bytes_per_s=1.6e9,
+    pcie_latency_s=10e-6,
+)
+
+#: The paper's laptop-class host: Intel i7, 2.8 GHz, 16 GB memory.  The edge
+#: throughput default reflects a Python/NetworkX-style traversal (hundreds of
+#: thousands of edges per second), which is the software the paper measures.
+LAPTOP_CPU = CPUSpec(
+    name="Intel i7 (laptop), 2.8 GHz",
+    clock_hz=2.8e9,
+    memory_bytes=16 * 1024**3,
+    edges_per_second=2.0e6,
+)

@@ -1,0 +1,17 @@
+"""Memory measurement substrate (tracemalloc tracking and reporting)."""
+
+from repro.memory.report import (
+    MemorySummary,
+    bytes_to_megabytes,
+    reduction_factor,
+    summarize_bytes,
+)
+from repro.memory.tracker import MemoryTracker
+
+__all__ = [
+    "MemorySummary",
+    "bytes_to_megabytes",
+    "reduction_factor",
+    "summarize_bytes",
+    "MemoryTracker",
+]

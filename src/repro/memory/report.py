@@ -1,0 +1,67 @@
+"""Memory usage summaries and reduction factors (Table II bookkeeping)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["MemorySummary", "summarize_bytes", "reduction_factor", "bytes_to_megabytes"]
+
+
+def bytes_to_megabytes(value: float) -> float:
+    """Convert bytes to binary megabytes (the unit used in Table II)."""
+    return value / (1024.0 * 1024.0)
+
+
+@dataclass(frozen=True)
+class MemorySummary:
+    """Min / max / mean of a set of per-query memory measurements, in bytes."""
+
+    minimum: float
+    maximum: float
+    mean: float
+    count: int
+
+    @property
+    def minimum_mb(self) -> float:
+        """Minimum in megabytes."""
+        return bytes_to_megabytes(self.minimum)
+
+    @property
+    def maximum_mb(self) -> float:
+        """Maximum in megabytes."""
+        return bytes_to_megabytes(self.maximum)
+
+    @property
+    def mean_mb(self) -> float:
+        """Mean in megabytes."""
+        return bytes_to_megabytes(self.mean)
+
+
+def summarize_bytes(values: Sequence[float]) -> MemorySummary:
+    """Summarise a sequence of byte counts."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return MemorySummary(0.0, 0.0, 0.0, 0)
+    return MemorySummary(
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        mean=float(array.mean()),
+        count=int(array.size),
+    )
+
+
+def reduction_factor(baseline_bytes: float, optimized_bytes: float) -> float:
+    """Memory reduction factor ``baseline / optimized``.
+
+    A value above 1 means the optimised implementation uses less memory.
+    Returns ``inf`` when the optimised implementation reports zero bytes
+    (Table II prints "0.000 MB" for the smallest FPGA sub-graphs).
+    """
+    if baseline_bytes < 0 or optimized_bytes < 0:
+        raise ValueError("byte counts must be non-negative")
+    if optimized_bytes == 0:
+        return float("inf")
+    return baseline_bytes / optimized_bytes

@@ -1,0 +1,31 @@
+"""PPR solvers and quality metrics (baselines + interfaces)."""
+
+from repro.ppr.base import PPRQuery, PPRResult, PPRSolver
+from repro.ppr.local_ppr import LocalPPRSolver
+from repro.ppr.metrics import (
+    average_precision_over_seeds,
+    precision_at_k,
+    rank_agreement,
+    recall_at_k,
+    result_precision,
+    score_l1_error,
+)
+from repro.ppr.monte_carlo import MonteCarloSolver
+from repro.ppr.networkx_baseline import NetworkXPPRSolver
+from repro.ppr.power_iteration import PowerIterationSolver
+
+__all__ = [
+    "PPRQuery",
+    "PPRResult",
+    "PPRSolver",
+    "LocalPPRSolver",
+    "average_precision_over_seeds",
+    "precision_at_k",
+    "rank_agreement",
+    "recall_at_k",
+    "result_precision",
+    "score_l1_error",
+    "MonteCarloSolver",
+    "NetworkXPPRSolver",
+    "PowerIterationSolver",
+]

@@ -1,0 +1,71 @@
+"""Shared pytest fixtures.
+
+The fixtures provide small deterministic graphs that every test module can
+reuse without re-generating them, keeping the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import barabasi_albert_graph, citation_graph
+
+
+@pytest.fixture(scope="session")
+def triangle_graph() -> CSRGraph:
+    """A 3-node triangle."""
+    return CSRGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)], name="triangle")
+
+
+@pytest.fixture(scope="session")
+def path_graph() -> CSRGraph:
+    """A 5-node path 0-1-2-3-4."""
+    builder = GraphBuilder(num_nodes=5)
+    builder.add_path(range(5))
+    return builder.build(name="path5")
+
+
+@pytest.fixture(scope="session")
+def star_graph() -> CSRGraph:
+    """A star with centre 0 and 6 leaves."""
+    builder = GraphBuilder(num_nodes=7)
+    builder.add_star(0, range(1, 7))
+    return builder.build(name="star7")
+
+
+@pytest.fixture(scope="session")
+def fig1_graph() -> CSRGraph:
+    """The 4-node example graph of Fig. 1 of the paper.
+
+    v1 is connected to v2, v3 and v4; there are no other edges (node ids are
+    shifted to 0-based: seed v1 -> 0).
+    """
+    return CSRGraph.from_edges(4, [(0, 1), (0, 2), (0, 3)], name="fig1")
+
+
+@pytest.fixture(scope="session")
+def small_ba_graph() -> CSRGraph:
+    """A 200-node Barabási–Albert graph (deterministic)."""
+    return barabasi_albert_graph(200, 2, rng=3, name="ba200")
+
+
+@pytest.fixture(scope="session")
+def small_citation_graph() -> CSRGraph:
+    """A 300-node citation-style graph (deterministic)."""
+    return citation_graph(300, 3.0, rng=5, name="cite300")
+
+
+@pytest.fixture(scope="session")
+def citeseer_standin() -> CSRGraph:
+    """The G1 (citeseer) stand-in used by integration tests."""
+    return load_dataset("G1")
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,272 @@
+"""Tests for the experiment harness (one class per paper artefact).
+
+These are shape tests: they run each experiment at reduced seed counts and
+check the qualitative claims of the paper rather than exact numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablation_stage_split import format_stage_split, run_stage_split_ablation
+from repro.experiments.fig5_scalability import format_fig5, run_fig5
+from repro.experiments.fig6_sparsity import format_fig6, run_fig6
+from repro.experiments.fig7_tradeoff import format_fig7, run_fig7
+from repro.experiments.quantization_study import format_quantization, run_quantization_study
+from repro.experiments.reporting import (
+    format_megabytes,
+    format_milliseconds,
+    format_ratio,
+    format_table,
+)
+from repro.experiments.score_table_study import format_score_table, run_score_table_study
+from repro.experiments.table1_resources import format_table1, run_table1
+from repro.experiments.table2_memory import format_table2, run_table2
+from repro.experiments.workloads import PAPER_K, PAPER_LENGTH, make_workload, sample_seeds
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2], [30, 40]], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_helpers(self):
+        assert format_ratio(2.5) == "2.50x"
+        assert format_ratio(float("inf")) == "inf"
+        assert format_megabytes(1024 * 1024) == "1.000"
+        assert format_milliseconds(0.001) == "1.000"
+
+
+class TestWorkloads:
+    def test_make_workload_defaults(self):
+        workload = make_workload("G1", num_seeds=3)
+        assert workload.num_queries == 3
+        assert all(q.k == PAPER_K for q in workload.queries)
+        assert all(q.length == PAPER_LENGTH for q in workload.queries)
+
+    def test_workload_deterministic(self):
+        a = make_workload("G2", num_seeds=4, rng=9)
+        b = make_workload("G2", num_seeds=4, rng=9)
+        assert a.seeds == b.seeds
+
+    def test_sample_seeds_respects_degree(self, star_graph):
+        seeds = sample_seeds(star_graph, 3, rng=1, min_degree=2)
+        assert list(seeds) == [0]
+
+    def test_sample_seeds_distinct(self, small_ba_graph):
+        seeds = sample_seeds(small_ba_graph, 50, rng=1)
+        assert len(set(seeds.tolist())) == len(seeds)
+
+    def test_sample_seeds_invalid_count(self, small_ba_graph):
+        with pytest.raises(ValueError):
+            sample_seeds(small_ba_graph, 0)
+
+    def test_custom_graph_workload(self, small_ba_graph):
+        workload = make_workload("custom", num_seeds=2, graph=small_ba_graph)
+        assert workload.graph is small_ba_graph
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_fig5(num_seeds=3, parallelisms=(1, 2, 16))
+
+    def test_latency_decreases_with_parallelism(self, study):
+        compute = [
+            p.fpga_diffusion_seconds + p.fpga_scheduling_seconds for p in study.points
+        ]
+        assert compute == sorted(compute, reverse=True)
+
+    def test_meaningful_speedup_at_p16(self, study):
+        assert study.speedup_from_first()[16] > 2.0
+
+    def test_scheduling_overhead_bounds(self, study):
+        for point in study.points:
+            if point.parallelism == 1:
+                assert point.scheduling_fraction == 0.0
+            else:
+                assert point.scheduling_fraction < 0.40
+
+    def test_cpu_and_data_movement_constant(self, study):
+        cpu = {point.cpu_seconds for point in study.points}
+        movement = {point.fpga_data_movement_seconds for point in study.points}
+        assert len(cpu) == 1
+        assert len(movement) == 1
+
+    def test_format(self, study):
+        text = format_fig5(study)
+        assert "Fig. 5" in text
+        assert "FPGA-Diffusion" in text
+
+
+class TestTable1:
+    def test_model_close_to_paper(self):
+        study = run_table1()
+        assert study.max_lut_error() < 0.03
+        assert study.max_bram_error() < 0.03
+
+    def test_format(self):
+        text = format_table1(run_table1())
+        assert "Table I" in text
+        assert "BRAM %" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def study(self):
+        # Modelled memory keeps this test fast and deterministic.
+        return run_table2(
+            datasets=("G1", "G3"), num_seeds=3, use_tracemalloc=False
+        )
+
+    def test_meloppr_uses_less_memory(self, study):
+        for row in study.rows:
+            assert row.cpu_reduction_mean > 1.0
+            assert row.fpga_reduction_mean > row.cpu_reduction_mean
+
+    def test_denser_graph_saves_more(self, study):
+        by_dataset = study.by_dataset()
+        assert by_dataset["G3"].fpga_reduction_mean > by_dataset["G1"].fpga_reduction_mean * 0.5
+
+    def test_format(self, study):
+        text = format_table2(study)
+        assert "Table II" in text
+        assert "G1" in text
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_fig6(datasets=("G1", "G2"), ratios=(0.01, 0.05, 0.3), num_seeds=3)
+
+    def test_precision_increases_with_ratio(self, study):
+        precisions = [point.precision for point in study.curve]
+        assert precisions[0] <= precisions[-1] + 0.02
+
+    def test_residual_vector_is_sparse(self, study):
+        distribution = study.distribution
+        # Most nodes carry small scores, few carry large ones, and the top
+        # decile of nodes holds a disproportionate share of the mass — the
+        # property the next-stage selection exploits.
+        assert distribution.near_zero_fraction > distribution.large_score_fraction
+        assert distribution.large_score_fraction < 0.25
+        assert distribution.top_decile_mass_fraction > 0.25
+
+    def test_precision_at_lookup(self, study):
+        assert 0.0 <= study.precision_at(0.05) <= 1.0
+
+    def test_more_ratio_means_more_tasks(self, study):
+        tasks = [point.mean_next_stage_tasks for point in study.curve]
+        assert tasks == sorted(tasks)
+
+    def test_format(self, study):
+        text = format_fig6(study)
+        assert "Fig. 6" in text
+        assert "%" in text
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_fig7(datasets=("G1", "G2"), ratios=(0.01, 0.1), num_seeds=3)
+
+    def test_precision_rises_with_budget(self, study):
+        for dataset in study.datasets():
+            points = study.for_dataset(dataset)
+            assert points[0].precision <= points[-1].precision + 0.05
+
+    def test_speedup_falls_with_budget(self, study):
+        for dataset in study.datasets():
+            points = study.for_dataset(dataset)
+            assert points[-1].fpga_speedup <= points[0].fpga_speedup * 1.2
+
+    def test_fpga_faster_than_cpu_meloppr(self, study):
+        for point in study.points:
+            assert point.meloppr_fpga_seconds <= point.meloppr_cpu_seconds * 1.05
+
+    def test_bfs_fraction_in_unit_interval(self, study):
+        for point in study.points:
+            assert 0.0 <= point.bfs_fraction <= 1.0
+
+    def test_format(self, study):
+        text = format_fig7(study)
+        assert "Fig. 7" in text
+        assert "speedup" in text
+
+
+class TestQuantizationStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_quantization_study(num_seeds=3)
+
+    def test_larger_scale_is_more_precise(self, study):
+        rows = study.by_rule()
+        assert rows["max"].mean_precision >= rows["average"].mean_precision - 0.02
+
+    def test_max_scale_precision_high(self, study):
+        assert study.by_rule()["max"].mean_precision > 0.85
+
+    def test_loss_is_one_minus_precision(self, study):
+        for row in study.rows:
+            assert row.mean_precision_loss == pytest.approx(1.0 - row.mean_precision)
+
+    def test_format(self, study):
+        assert "Sec. V-A" in format_quantization(study)
+
+
+class TestScoreTableStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_score_table_study(datasets=("G1",), factors=(2, 10), num_seeds=3)
+
+    def test_larger_table_loses_less(self, study):
+        assert study.loss_at(10) <= study.loss_at(2) + 1e-9
+
+    def test_loss_small_at_paper_setting(self, study):
+        assert study.loss_at(10) < 0.05
+
+    def test_unknown_factor_raises(self, study):
+        with pytest.raises(KeyError):
+            study.loss_at(999)
+
+    def test_format(self, study):
+        assert "Sec. V-B" in format_score_table(study)
+
+
+class TestStageSplitAblation:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_stage_split_ablation(
+            dataset="G2", splits=((1, 5), (3, 3), (5, 1)), num_seeds=3
+        )
+
+    def test_all_splits_present(self, study):
+        assert {row.stage_lengths for row in study.rows} == {(1, 5), (3, 3), (5, 1)}
+
+    def test_large_l1_needs_more_memory(self, study):
+        rows = {row.stage_lengths: row for row in study.rows}
+        assert (
+            rows[(5, 1)].mean_peak_subgraph_nodes
+            >= rows[(3, 3)].mean_peak_subgraph_nodes
+        )
+
+    def test_helpers(self, study):
+        assert study.best_precision().precision == max(r.precision for r in study.rows)
+        assert study.smallest_memory().mean_peak_subgraph_nodes == min(
+            r.mean_peak_subgraph_nodes for r in study.rows
+        )
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ValueError):
+            run_stage_split_ablation(splits=((2, 2),), num_seeds=2)
+
+    def test_format(self, study):
+        assert "Ablation" in format_stage_split(study)

@@ -1,0 +1,130 @@
+"""Tests for repro.graph.csr."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.graph.csr import CSRGraph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self, triangle_graph):
+        assert triangle_graph.num_nodes == 3
+        assert triangle_graph.num_edges == 3
+        assert triangle_graph.num_directed_edges == 6
+
+    def test_size_is_nodes_plus_edges(self, triangle_graph):
+        assert triangle_graph.size == 6
+
+    def test_from_edges_drops_self_loops(self):
+        graph = CSRGraph.from_edges(3, [(0, 0), (0, 1)])
+        assert graph.num_edges == 1
+
+    def test_from_edges_drops_duplicates(self):
+        graph = CSRGraph.from_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert graph.num_edges == 1
+
+    def test_from_scipy_symmetrises(self):
+        matrix = sparse.csr_matrix(np.array([[0, 1, 0], [0, 0, 0], [0, 0, 0]]))
+        graph = CSRGraph.from_scipy(matrix)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+
+    def test_from_scipy_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_scipy(sparse.csr_matrix(np.ones((2, 3))))
+
+    def test_invalid_indptr_start(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0], dtype=np.int32))
+
+    def test_indptr_indices_mismatch(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2]), np.array([0], dtype=np.int32))
+
+    def test_indices_out_of_range(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([5], dtype=np.int32))
+
+    def test_non_monotone_indptr(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2, 1, 3]), np.array([0, 1, 2], dtype=np.int32))
+
+    def test_empty_graph(self):
+        graph = CSRGraph(np.array([0]), np.array([], dtype=np.int32))
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+
+class TestNeighborhoods:
+    def test_degree(self, star_graph):
+        assert star_graph.degree(0) == 6
+        assert star_graph.degree(1) == 1
+
+    def test_degrees_array(self, star_graph):
+        degrees = star_graph.degrees()
+        assert degrees[0] == 6
+        assert degrees.sum() == 12
+
+    def test_neighbors_sorted(self, triangle_graph):
+        assert list(triangle_graph.neighbors(0)) == [1, 2]
+
+    def test_neighbors_out_of_range(self, triangle_graph):
+        with pytest.raises(ValueError):
+            triangle_graph.neighbors(5)
+
+    def test_has_edge(self, path_graph):
+        assert path_graph.has_edge(0, 1)
+        assert not path_graph.has_edge(0, 2)
+
+    def test_iter_edges_each_once(self, triangle_graph):
+        edges = list(triangle_graph.iter_edges())
+        assert sorted(edges) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_edge_array_matches_iter_edges(self, small_ba_graph):
+        from_iter = sorted(small_ba_graph.iter_edges())
+        from_array = sorted(map(tuple, small_ba_graph.edge_array().tolist()))
+        assert from_iter == from_array
+
+
+class TestConversions:
+    def test_to_scipy_roundtrip(self, triangle_graph):
+        matrix = triangle_graph.to_scipy()
+        rebuilt = CSRGraph.from_scipy(matrix)
+        assert rebuilt == triangle_graph
+
+    def test_to_scipy_symmetric(self, small_ba_graph):
+        matrix = small_ba_graph.to_scipy()
+        assert (matrix != matrix.T).nnz == 0
+
+    def test_to_networkx(self, path_graph):
+        nx_graph = path_graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 5
+        assert nx_graph.number_of_edges() == 4
+
+    def test_nbytes_positive(self, triangle_graph):
+        assert triangle_graph.nbytes() > 0
+
+
+class TestDunder:
+    def test_len_is_num_nodes(self, star_graph):
+        assert len(star_graph) == 7
+
+    def test_repr_mentions_name(self, triangle_graph):
+        assert "triangle" in repr(triangle_graph)
+
+    def test_equality(self):
+        a = CSRGraph.from_edges(3, [(0, 1)])
+        b = CSRGraph.from_edges(3, [(0, 1)])
+        c = CSRGraph.from_edges(3, [(1, 2)])
+        assert a == b
+        assert a != c
+
+    def test_equality_with_other_type(self, triangle_graph):
+        assert (triangle_graph == 42) is False or (triangle_graph == 42) is NotImplemented
+
+    def test_arrays_are_read_only(self, triangle_graph):
+        with pytest.raises(ValueError):
+            triangle_graph.indices[0] = 2

@@ -1,0 +1,59 @@
+"""Tests for repro.graph.stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import CSRGraph
+from repro.graph.stats import compute_stats, degree_histogram
+
+
+class TestComputeStats:
+    def test_triangle(self, triangle_graph):
+        stats = compute_stats(triangle_graph)
+        assert stats.num_nodes == 3
+        assert stats.num_edges == 3
+        assert stats.min_degree == 2
+        assert stats.max_degree == 2
+        assert stats.average_degree == pytest.approx(2.0)
+        assert stats.density == pytest.approx(1.0)
+
+    def test_star(self, star_graph):
+        stats = compute_stats(star_graph)
+        assert stats.max_degree == 6
+        assert stats.min_degree == 1
+        assert stats.median_degree == 1.0
+
+    def test_isolated_nodes_counted(self):
+        graph = GraphBuilder(num_nodes=4).add_edge(0, 1).build()
+        assert compute_stats(graph).isolated_nodes == 2
+
+    def test_empty_graph(self):
+        graph = CSRGraph(np.array([0]), np.array([], dtype=np.int32))
+        stats = compute_stats(graph)
+        assert stats.num_nodes == 0
+        assert stats.density == 0.0
+
+    def test_as_dict_keys(self, triangle_graph):
+        data = compute_stats(triangle_graph).as_dict()
+        assert {"name", "num_nodes", "num_edges", "density"} <= set(data)
+
+    def test_name_propagated(self, path_graph):
+        assert compute_stats(path_graph).name == "path5"
+
+
+class TestDegreeHistogram:
+    def test_star_histogram(self, star_graph):
+        hist = degree_histogram(star_graph)
+        assert hist[1] == 6
+        assert hist[6] == 1
+
+    def test_histogram_sums_to_node_count(self, small_ba_graph):
+        hist = degree_histogram(small_ba_graph)
+        assert hist.sum() == small_ba_graph.num_nodes
+
+    def test_empty_graph_histogram(self):
+        graph = CSRGraph(np.array([0]), np.array([], dtype=np.int32))
+        assert degree_histogram(graph).sum() == 0

@@ -1,0 +1,78 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import DEFAULT_SEED, ensure_rng, sample_without_replacement, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_default_seeded_generator(self):
+        a = ensure_rng(None)
+        b = ensure_rng(None)
+        assert a.integers(0, 1000) == b.integers(0, 1000)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42)
+        b = ensure_rng(42)
+        assert np.array_equal(a.integers(0, 100, 10), b.integers(0, 100, 10))
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 2**31, 20)
+        b = ensure_rng(2).integers(0, 2**31, 20)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(7)
+        assert ensure_rng(generator) is generator
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            ensure_rng(True)
+
+    def test_default_seed_constant(self):
+        assert isinstance(DEFAULT_SEED, int)
+
+
+class TestSpawnRngs:
+    def test_returns_requested_count(self):
+        children = spawn_rngs(0, 5)
+        assert len(children) == 5
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].integers(0, 2**31, 10)
+        b = children[1].integers(0, 2**31, 10)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_given_seed(self):
+        first = [g.integers(0, 1000) for g in spawn_rngs(3, 4)]
+        second = [g.integers(0, 1000) for g in spawn_rngs(3, 4)]
+        assert first == second
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestSampleWithoutReplacement:
+    def test_distinct_values(self):
+        sample = sample_without_replacement(1, 100, 50)
+        assert len(set(sample.tolist())) == 50
+
+    def test_within_population(self):
+        sample = sample_without_replacement(1, 10, 10)
+        assert set(sample.tolist()) == set(range(10))
+
+    def test_too_many_requested(self):
+        with pytest.raises(ValueError):
+            sample_without_replacement(1, 5, 6)

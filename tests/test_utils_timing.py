@@ -1,0 +1,83 @@
+"""Tests for repro.utils.timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.timing import Stopwatch, TimingBreakdown
+
+
+class TestStopwatch:
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_measures_non_negative_time(self):
+        watch = Stopwatch()
+        watch.start()
+        assert watch.stop() >= 0.0
+
+    def test_accumulates_over_restarts(self):
+        watch = Stopwatch()
+        watch.start()
+        first = watch.stop()
+        watch.start()
+        second = watch.stop()
+        assert second >= first
+
+    def test_reset_clears_elapsed(self):
+        watch = Stopwatch()
+        watch.start()
+        watch.stop()
+        watch.reset()
+        assert watch.elapsed == 0.0
+
+    def test_elapsed_while_running(self):
+        watch = Stopwatch().start()
+        assert watch.elapsed >= 0.0
+
+
+class TestTimingBreakdown:
+    def test_add_and_total(self):
+        breakdown = TimingBreakdown()
+        breakdown.add("bfs", 0.5)
+        breakdown.add("diffusion", 1.5)
+        assert breakdown.total == pytest.approx(2.0)
+
+    def test_add_accumulates_same_bucket(self):
+        breakdown = TimingBreakdown()
+        breakdown.add("bfs", 0.5)
+        breakdown.add("bfs", 0.25)
+        assert breakdown.seconds["bfs"] == pytest.approx(0.75)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TimingBreakdown().add("bfs", -1.0)
+
+    def test_fraction(self):
+        breakdown = TimingBreakdown({"bfs": 1.0, "diffusion": 3.0})
+        assert breakdown.fraction("bfs") == pytest.approx(0.25)
+
+    def test_fraction_empty_is_zero(self):
+        assert TimingBreakdown().fraction("bfs") == 0.0
+
+    def test_measure_context_manager(self):
+        breakdown = TimingBreakdown()
+        with breakdown.measure("work"):
+            sum(range(100))
+        assert breakdown.seconds["work"] >= 0.0
+
+    def test_measure_records_on_exception(self):
+        breakdown = TimingBreakdown()
+        with pytest.raises(RuntimeError):
+            with breakdown.measure("work"):
+                raise RuntimeError("boom")
+        assert "work" in breakdown.seconds
+
+    def test_merge_is_bucketwise_sum(self):
+        a = TimingBreakdown({"bfs": 1.0})
+        b = TimingBreakdown({"bfs": 2.0, "diffusion": 1.0})
+        merged = a.merge(b)
+        assert merged.seconds == {"bfs": 3.0, "diffusion": 1.0}
+        # Originals untouched.
+        assert a.seconds == {"bfs": 1.0}
