@@ -27,6 +27,8 @@ Quickstart
 from repro.meloppr.config import MeLoPPRConfig
 from repro.meloppr.solver import MeLoPPRSolver
 from repro.ppr.base import PPRQuery, PPRResult
+from repro.serving.cache import SubgraphCache
+from repro.serving.engine import QueryEngine
 
 __version__ = "0.1.0"
 
@@ -35,5 +37,7 @@ __all__ = [
     "MeLoPPRSolver",
     "PPRQuery",
     "PPRResult",
+    "QueryEngine",
+    "SubgraphCache",
     "__version__",
 ]

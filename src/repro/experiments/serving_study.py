@@ -1,0 +1,243 @@
+"""Experiment E9 — batched serving throughput (engine, cache, backends).
+
+This study is not a paper artefact: it characterises the query-serving
+engine added on top of the reproduction.  A repeated-seed workload (hot
+seeds queried many times, as a production traffic mix would) is answered
+four ways — serial/cold, serial/cached, threaded/cold, threaded/cached —
+and the study reports wall-clock throughput, mean latency, the sub-graph
+cache hit rate and the speedup over the serial cold-cache baseline.
+
+Answers are verified identical across all configurations before the study
+returns, so the numbers always describe equivalent work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.reporting import format_ratio, format_table
+from repro.experiments.workloads import PAPER_ALPHA, PAPER_LENGTH, PAPER_STAGE_SPLIT, make_workload
+from repro.meloppr.config import MeLoPPRConfig
+from repro.meloppr.selection import RatioSelector
+from repro.meloppr.solver import MeLoPPRSolver
+from repro.ppr.base import PPRQuery
+from repro.serving.backends import ExecutionBackend, SerialBackend, ThreadPoolBackend
+from repro.serving.cache import SubgraphCache
+from repro.serving.engine import QueryEngine
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["ServingRun", "ServingStudy", "run_serving_study", "format_serving"]
+
+
+@dataclass(frozen=True)
+class ServingRun:
+    """One engine configuration's measurements over the workload."""
+
+    label: str
+    backend: str
+    cache_enabled: bool
+    num_queries: int
+    wall_seconds: float
+    throughput_qps: float
+    mean_latency_seconds: float
+    cache_hit_rate: Optional[float]
+    speedup_vs_baseline: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON emission."""
+        return {
+            "label": self.label,
+            "backend": self.backend,
+            "cache_enabled": self.cache_enabled,
+            "num_queries": self.num_queries,
+            "wall_seconds": self.wall_seconds,
+            "throughput_qps": self.throughput_qps,
+            "mean_latency_seconds": self.mean_latency_seconds,
+            "cache_hit_rate": self.cache_hit_rate,
+            "speedup_vs_baseline": self.speedup_vs_baseline,
+        }
+
+
+@dataclass(frozen=True)
+class ServingStudy:
+    """The full serial/threaded x cold/cached sweep."""
+
+    dataset: str
+    num_seeds: int
+    repeat_factor: int
+    num_workers: int
+    k: int
+    runs: Tuple[ServingRun, ...]
+
+    def by_label(self) -> Dict[str, ServingRun]:
+        """Runs keyed by configuration label."""
+        return {run.label: run for run in self.runs}
+
+    @property
+    def baseline(self) -> ServingRun:
+        """The serial cold-cache reference run."""
+        return self.runs[0]
+
+    @property
+    def best(self) -> ServingRun:
+        """The highest-throughput run."""
+        return max(self.runs, key=lambda run: run.throughput_qps)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON emission."""
+        return {
+            "dataset": self.dataset,
+            "num_seeds": self.num_seeds,
+            "repeat_factor": self.repeat_factor,
+            "num_workers": self.num_workers,
+            "k": self.k,
+            "runs": [run.as_dict() for run in self.runs],
+        }
+
+
+def _repeated_seed_workload(
+    dataset: str,
+    num_seeds: int,
+    repeat_factor: int,
+    k: int,
+    rng: RngLike,
+):
+    """Build the hot-seed workload: each sampled seed queried many times."""
+    workload = make_workload(
+        dataset,
+        num_seeds=num_seeds,
+        k=k,
+        length=PAPER_LENGTH,
+        alpha=PAPER_ALPHA,
+        rng=rng,
+    )
+    queries = [query for query in workload.queries for _ in range(repeat_factor)]
+    # Interleave repeats the way real traffic would (not seed-sorted blocks).
+    generator = ensure_rng(rng)
+    order = generator.permutation(len(queries))
+    return workload.graph, [queries[index] for index in order]
+
+
+def run_serving_study(
+    dataset: str = "G1",
+    num_seeds: int = 8,
+    repeat_factor: int = 4,
+    num_workers: int = 4,
+    k: int = 100,
+    selection_ratio: float = 0.02,
+    rng: RngLike = 17,
+) -> ServingStudy:
+    """Measure batched serving throughput across backends and cache settings.
+
+    Parameters
+    ----------
+    dataset:
+        Dataset key of the host graph.
+    num_seeds:
+        Distinct hot seeds in the workload.
+    repeat_factor:
+        How many times each seed is queried (shuffled into the batch).
+    num_workers:
+        Thread-pool size for the threaded configurations.
+    k, selection_ratio:
+        Query and solver knobs (memory tracking is disabled so wall-clock
+        reflects serving work, not tracemalloc overhead).
+    """
+    config = MeLoPPRConfig(
+        stage_lengths=PAPER_STAGE_SPLIT,
+        selector=RatioSelector(selection_ratio),
+        score_table_factor=10,
+        track_memory=False,
+    )
+    graph, queries = _repeated_seed_workload(dataset, num_seeds, repeat_factor, k, rng)
+
+    def make_engine(backend: ExecutionBackend, cached: bool) -> QueryEngine:
+        return QueryEngine(
+            MeLoPPRSolver(graph, config),
+            backend=backend,
+            cache=SubgraphCache() if cached else None,
+        )
+
+    configurations = (
+        ("serial-cold", SerialBackend(), False),
+        ("serial-cached", SerialBackend(), True),
+        (f"threads{num_workers}-cold", ThreadPoolBackend(num_workers), False),
+        (f"threads{num_workers}-cached", ThreadPoolBackend(num_workers), True),
+    )
+
+    runs: List[ServingRun] = []
+    reference_top_k: Optional[List[List[int]]] = None
+    baseline_qps = 0.0
+    for label, backend, cached in configurations:
+        with make_engine(backend, cached) as engine:
+            results = engine.solve_batch(queries)
+            stats = engine.stats()
+        top_k = [result.top_k_nodes() for result in results]
+        if reference_top_k is None:
+            reference_top_k = top_k
+        elif top_k != reference_top_k:
+            raise AssertionError(
+                f"configuration {label} changed the answers — serving must be "
+                "a pure performance layer"
+            )
+        qps = stats.throughput_qps
+        if not runs:
+            baseline_qps = qps
+        runs.append(
+            ServingRun(
+                label=label,
+                backend=stats.backend,
+                cache_enabled=cached,
+                num_queries=stats.queries_served,
+                wall_seconds=stats.wall_seconds,
+                throughput_qps=qps,
+                mean_latency_seconds=stats.mean_latency_seconds,
+                cache_hit_rate=None if stats.cache is None else stats.cache.hit_rate,
+                speedup_vs_baseline=(qps / baseline_qps if baseline_qps > 0 else 0.0),
+            )
+        )
+    return ServingStudy(
+        dataset=dataset,
+        num_seeds=num_seeds,
+        repeat_factor=repeat_factor,
+        num_workers=num_workers,
+        k=k,
+        runs=tuple(runs),
+    )
+
+
+def format_serving(study: ServingStudy) -> str:
+    """Render the study as a text table."""
+    headers = [
+        "Configuration",
+        "Backend",
+        "Cache",
+        "Queries",
+        "Wall (s)",
+        "QPS",
+        "Mean lat (ms)",
+        "Hit rate",
+        "Speedup",
+    ]
+    rows = []
+    for run in study.runs:
+        rows.append(
+            [
+                run.label,
+                run.backend,
+                "on" if run.cache_enabled else "off",
+                run.num_queries,
+                f"{run.wall_seconds:.3f}",
+                f"{run.throughput_qps:.1f}",
+                f"{run.mean_latency_seconds * 1e3:.2f}",
+                "-" if run.cache_hit_rate is None else f"{run.cache_hit_rate:.0%}",
+                format_ratio(run.speedup_vs_baseline),
+            ]
+        )
+    title = (
+        f"E9 — serving throughput on {study.dataset} "
+        f"({study.num_seeds} hot seeds x{study.repeat_factor}, "
+        f"{study.num_workers} workers)"
+    )
+    return format_table(headers, rows, title=title)

@@ -80,8 +80,7 @@ def _memory_for_baseline(workload: Workload, measured: bool) -> Tuple[List[float
     solver = LocalPPRSolver(workload.graph, track_memory=measured)
     measured_bytes: List[float] = []
     modelled_bytes: List[float] = []
-    for query in workload.queries:
-        result = solver.solve(query)
+    for result in solver.solve_many(list(workload.queries)):
         measured_bytes.append(float(result.peak_memory_bytes))
         modelled_bytes.append(float(result.metadata["modelled_bytes"]))
     return measured_bytes, modelled_bytes
@@ -95,8 +94,7 @@ def _memory_for_meloppr(
     measured_bytes: List[float] = []
     modelled_bytes: List[float] = []
     fpga_bytes: List[float] = []
-    for query in workload.queries:
-        result = solver.solve(query)
+    for result in solver.solve_many(list(workload.queries)):
         measured_bytes.append(float(result.peak_memory_bytes))
         modelled_bytes.append(float(result.metadata["modelled_bytes"]))
         records = result.metadata["tasks"]

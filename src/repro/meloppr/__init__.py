@@ -20,6 +20,13 @@ from repro.meloppr.selection import (
     RatioSelector,
     ThresholdSelector,
 )
+from repro.meloppr.planner import (
+    MeLoPPRPlan,
+    StageTask,
+    StageTaskOutcome,
+    execute_plan,
+    execute_stage_task,
+)
 from repro.meloppr.solver import MeLoPPRSolver, StageTaskRecord
 from repro.meloppr.stage import (
     StagePlan,
@@ -44,6 +51,11 @@ __all__ = [
     "NextStageSelector",
     "RatioSelector",
     "ThresholdSelector",
+    "MeLoPPRPlan",
+    "StageTask",
+    "StageTaskOutcome",
+    "execute_plan",
+    "execute_stage_task",
     "MeLoPPRSolver",
     "StageTaskRecord",
     "StagePlan",

@@ -73,6 +73,19 @@ class MeLoPPRConfig:
         """The full diffusion length ``L`` realised by all stages together."""
         return int(sum(self.stage_lengths))
 
+    def score_table_capacity(self, k: int) -> Optional[int]:
+        """Global score table capacity ``c * k`` for a query asking for ``k``.
+
+        This is the single place the Sec. V-B bound is computed; the solver,
+        the planner and the serving engine all call it so the capacity cannot
+        drift between them.  ``None`` means an unbounded table.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be > 0, got {k}")
+        if self.score_table_factor is None:
+            return None
+        return int(self.score_table_factor) * int(k)
+
     @property
     def num_stages(self) -> int:
         """Number of stages."""

@@ -22,6 +22,12 @@ The solver never materialises any data structure proportional to
 ``G_L(s)``; its working set is bounded by the largest single sub-graph, which
 is the memory saving reported in Table II.
 
+The stage loop itself lives in :mod:`repro.meloppr.planner`: ``solve`` builds
+a :class:`~repro.meloppr.planner.MeLoPPRPlan` (the planner) and drives it with
+the serial reference executor.  The serving engine (:mod:`repro.serving`)
+drives the same plans with batching, a sub-graph cache and pluggable
+backends — one algorithmic code path for both.
+
 Per-sub-graph work records (:class:`StageTaskRecord`) are attached to the
 result so the FPGA co-simulation (:mod:`repro.hardware.cosim`) can replay the
 exact same computation on the modelled accelerator without recomputing the
@@ -30,57 +36,14 @@ algorithmic part.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
-import numpy as np
-
-from repro.diffusion.diffusion import graph_diffusion, seed_vector
-from repro.diffusion.sparse_vector import SparseScoreVector
-from repro.graph.bfs import extract_ego_subgraph
 from repro.graph.csr import CSRGraph
-from repro.memory.tracker import MemoryTracker
-from repro.meloppr.aggregation import GlobalScoreTable
 from repro.meloppr.config import MeLoPPRConfig
-from repro.meloppr.linear import split_residual
-from repro.meloppr.stage import StagePlan
+from repro.meloppr.planner import MeLoPPRPlan, StageTaskRecord, execute_plan
 from repro.ppr.base import PPRQuery, PPRResult, PPRSolver
-from repro.utils.timing import TimingBreakdown
 
 __all__ = ["MeLoPPRSolver", "StageTaskRecord"]
-
-
-@dataclass(frozen=True)
-class StageTaskRecord:
-    """Work record of one sub-graph diffusion inside a MeLoPPR query.
-
-    These records are both the solver's own bookkeeping (memory modelling)
-    and the input to the hardware co-simulation, which charges BFS time to
-    the CPU and diffusion cycles to the FPGA per task.
-
-    Attributes
-    ----------
-    stage_index:
-        0 for the stage-one task, 1 for stage-two tasks, ...
-    center_node:
-        Global node id the sub-graph was extracted around.
-    weight:
-        Scale applied to this task's accumulated scores before aggregation.
-    subgraph_nodes, subgraph_edges:
-        Size of the extracted sub-graph ``G_l(center)``.
-    bfs_edges_scanned:
-        Adjacency entries the CPU touched during the BFS extraction.
-    propagations:
-        Adjacency entries the diffusion kernel touched (FPGA diffuser work).
-    """
-
-    stage_index: int
-    center_node: int
-    weight: float
-    subgraph_nodes: int
-    subgraph_edges: int
-    bfs_edges_scanned: int
-    propagations: int
 
 
 class MeLoPPRSolver(PPRSolver):
@@ -108,151 +71,19 @@ class MeLoPPRSolver(PPRSolver):
         return self._config
 
     # ------------------------------------------------------------------
+    def plan(
+        self, query: PPRQuery, track_memory: Optional[bool] = None
+    ) -> MeLoPPRPlan:
+        """Build the stage-task planner for one query (without executing it).
+
+        The serving engine uses this to separate planning from execution;
+        :meth:`solve` is exactly ``execute_plan(self.plan(query))``.
+        ``track_memory`` overrides the config's tracemalloc switch (the
+        engine disables it under concurrent backends, where the
+        process-global trace cannot measure per-query peaks).
+        """
+        return MeLoPPRPlan(self._graph, self._config, query, track_memory=track_memory)
+
     def solve(self, query: PPRQuery) -> PPRResult:
         """Answer one PPR query with multi-stage decomposition."""
-        config = self._config
-        if config.total_length != query.length:
-            # The stage split must realise exactly the requested diffusion
-            # length; re-split while preserving the number of stages.
-            plan_lengths = _resplit(query.length, config.stage_lengths)
-        else:
-            plan_lengths = config.stage_lengths
-        plan = StagePlan.create(plan_lengths, query.alpha)
-
-        timing = TimingBreakdown()
-        tracker = MemoryTracker(enabled=config.track_memory)
-
-        capacity = (
-            None
-            if config.score_table_factor is None
-            else config.score_table_factor * query.k
-        )
-        table = GlobalScoreTable(capacity=capacity)
-        tasks: List[StageTaskRecord] = []
-        peak_subgraph_bytes = 0
-
-        with tracker:
-            # Work list for the current stage: (center node, task weight).
-            work: List[Tuple[int, float]] = [(query.seed, 1.0)]
-            for stage_index, stage_length in enumerate(plan.stage_lengths):
-                is_last_stage = stage_index + 1 == plan.num_stages
-                # Residual mass handed to the next stage, keyed by global node.
-                next_candidates: Dict[int, float] = {}
-
-                for center, weight in work:
-                    with timing.measure("bfs"):
-                        subgraph, bfs = extract_ego_subgraph(
-                            self._graph, center, stage_length
-                        )
-                    with timing.measure("diffusion"):
-                        initial = seed_vector(
-                            subgraph.num_nodes, subgraph.to_local(center)
-                        )
-                        diffusion = graph_diffusion(
-                            subgraph.graph, initial, stage_length, query.alpha
-                        )
-                    with timing.measure("aggregation"):
-                        table.add_many(
-                            subgraph.global_ids, weight * diffusion.accumulated
-                        )
-                    if not is_last_stage:
-                        with timing.measure("selection"):
-                            (locals_with_mass,) = np.nonzero(
-                                diffusion.residual > config.residual_tolerance
-                            )
-                            carried_nodes = subgraph.global_ids[locals_with_mass]
-                            carried_values = weight * diffusion.residual[locals_with_mass]
-                            for node, value in zip(carried_nodes, carried_values):
-                                node = int(node)
-                                next_candidates[node] = (
-                                    next_candidates.get(node, 0.0) + float(value)
-                                )
-
-                    tasks.append(
-                        StageTaskRecord(
-                            stage_index=stage_index,
-                            center_node=center,
-                            weight=weight,
-                            subgraph_nodes=subgraph.num_nodes,
-                            subgraph_edges=subgraph.num_edges,
-                            bfs_edges_scanned=bfs.edges_scanned,
-                            propagations=diffusion.propagations,
-                        )
-                    )
-                    peak_subgraph_bytes = max(
-                        peak_subgraph_bytes,
-                        subgraph.graph.nbytes()
-                        + diffusion.accumulated.nbytes
-                        + diffusion.residual.nbytes,
-                    )
-
-                if is_last_stage:
-                    break
-
-                # Select the next-stage nodes from the merged candidate set.
-                with timing.measure("selection"):
-                    candidate_nodes = np.fromiter(
-                        next_candidates.keys(), dtype=np.int64, count=len(next_candidates)
-                    )
-                    candidate_values = np.fromiter(
-                        next_candidates.values(),
-                        dtype=np.float64,
-                        count=len(next_candidates),
-                    )
-                    selected = config.selector.select(candidate_nodes, candidate_values)
-
-                # Build next work list; apply the Eq. 6 correction only for the
-                # nodes whose residual is re-diffused (unselected nodes keep
-                # their residual contribution, preserving probability mass).
-                stage_alpha = query.alpha**stage_length
-                next_work: List[Tuple[int, float]] = []
-                with timing.measure("aggregation"):
-                    for node in selected:
-                        residual_mass = next_candidates[int(node)]
-                        correction = stage_alpha * residual_mass
-                        table.add(int(node), -correction)
-                        next_work.append((int(node), correction))
-                work = next_work
-                if not work:
-                    break
-
-        scores = table.to_sparse_vector()
-        scores.prune(0.0)
-
-        modelled_bytes = peak_subgraph_bytes + table.nbytes()
-        peak = tracker.peak_bytes if config.track_memory else modelled_bytes
-
-        num_stage_two_tasks = sum(1 for task in tasks if task.stage_index > 0)
-        return PPRResult(
-            query=query,
-            scores=scores,
-            timing=timing,
-            peak_memory_bytes=peak,
-            metadata={
-                "stage_lengths": tuple(plan.stage_lengths),
-                "tasks": tasks,
-                "num_tasks": len(tasks),
-                "num_next_stage_tasks": num_stage_two_tasks,
-                "max_subgraph_nodes": max(task.subgraph_nodes for task in tasks),
-                "max_subgraph_edges": max(task.subgraph_edges for task in tasks),
-                "modelled_bytes": modelled_bytes,
-                "score_table_entries": table.num_entries,
-                "score_table_evictions": table.total_evictions,
-                "selector": repr(self._config.selector),
-            },
-        )
-
-
-def _resplit(total_length: int, template: Tuple[int, ...]) -> Tuple[int, ...]:
-    """Re-split ``total_length`` across the same number of stages as ``template``.
-
-    Keeps the relative proportions of the template split as closely as
-    possible; used when a query's ``length`` differs from the configured
-    ``sum(stage_lengths)``.
-    """
-    from repro.meloppr.stage import split_length
-
-    num_stages = len(template)
-    if total_length < num_stages:
-        num_stages = max(1, total_length)
-    return split_length(total_length, num_stages)
+        return execute_plan(self.plan(query))

@@ -9,6 +9,7 @@ comparison.
 
 from __future__ import annotations
 
+import threading
 import tracemalloc
 from typing import Optional
 
@@ -30,7 +31,16 @@ class MemoryTracker:
     supported: if tracing is already running when the tracker starts, the
     tracker snapshots the current peak, resets it, and restores tracing state
     on exit without stopping the outer trace.
+
+    Because the trace is process-global, concurrent tracked sections cannot
+    be attributed to their threads; enabled trackers therefore serialise on a
+    shared re-entrant lock held for the lifetime of the ``with`` block.  Code
+    that wants parallelism (e.g. the serving engine's thread-pool backend)
+    should disable tracking instead of measuring concurrently.
     """
+
+    #: Serialises all enabled tracked sections (tracemalloc is global state).
+    _global_lock = threading.RLock()
 
     def __init__(self, enabled: bool = True) -> None:
         self._enabled = bool(enabled)
@@ -58,6 +68,7 @@ class MemoryTracker:
     def __enter__(self) -> "MemoryTracker":
         if not self._enabled:
             return self
+        MemoryTracker._global_lock.acquire()
         self._was_tracing = tracemalloc.is_tracing()
         if not self._was_tracing:
             tracemalloc.start()
@@ -69,9 +80,12 @@ class MemoryTracker:
     def __exit__(self, exc_type, exc, traceback) -> None:
         if not self._enabled:
             return
-        _, peak = tracemalloc.get_traced_memory()
-        # Report the growth above the allocation level at entry so nested and
-        # repeated measurements are comparable.
-        self._peak_bytes = max(0, peak - self._current_at_start)
-        if not self._was_tracing:
-            tracemalloc.stop()
+        try:
+            _, peak = tracemalloc.get_traced_memory()
+            # Report the growth above the allocation level at entry so nested
+            # and repeated measurements are comparable.
+            self._peak_bytes = max(0, peak - self._current_at_start)
+            if not self._was_tracing:
+                tracemalloc.stop()
+        finally:
+            MemoryTracker._global_lock.release()

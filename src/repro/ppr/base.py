@@ -122,8 +122,17 @@ class PPRSolver(abc.ABC):
         return self.solve(PPRQuery(seed=seed, k=k, alpha=alpha, length=length))
 
     def solve_many(self, queries: List[PPRQuery]) -> List[PPRResult]:
-        """Answer a batch of queries sequentially."""
-        return [self.solve(query) for query in queries]
+        """Answer a batch of queries through a serial query engine.
+
+        Routing the batch through :class:`repro.serving.engine.QueryEngine`
+        (serial backend, no cache) keeps one batching code path in the
+        library while returning exactly what the historical sequential loop
+        returned; per-query serving latency is attached under
+        ``result.metadata["serving"]``.
+        """
+        from repro.serving.engine import QueryEngine  # deferred: avoids cycle
+
+        return QueryEngine(self).solve_batch(list(queries))
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(graph={self._graph.name!r})"

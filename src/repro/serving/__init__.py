@@ -1,0 +1,23 @@
+"""Query serving: batching, ego-sub-graph caching, pluggable execution.
+
+This package is the engine layer between the PPR solvers and callers with
+traffic: it batches queries (:class:`QueryEngine`), reuses BFS extractions
+across them (:class:`SubgraphCache`) and runs the per-query work on a
+pluggable :class:`ExecutionBackend` (serial or thread-pool today).  The
+algorithmic stage loop it drives lives in :mod:`repro.meloppr.planner`.
+"""
+
+from repro.serving.backends import ExecutionBackend, SerialBackend, ThreadPoolBackend
+from repro.serving.cache import DEFAULT_CACHE_BYTES, CacheStats, SubgraphCache
+from repro.serving.engine import EngineStats, QueryEngine
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "DEFAULT_CACHE_BYTES",
+    "CacheStats",
+    "SubgraphCache",
+    "EngineStats",
+    "QueryEngine",
+]

@@ -1,0 +1,260 @@
+"""The batched query-serving engine.
+
+:class:`QueryEngine` is the front door for answering PPR queries at volume.
+It wraps any :class:`~repro.ppr.base.PPRSolver` and adds the three things a
+serving layer needs that a solver should not know about:
+
+* **Batching** — ``submit`` enqueues queries and ``drain`` answers the whole
+  pending batch (``solve_batch`` does both in one call), amortising backend
+  and cache warm-up across queries.
+* **Extraction reuse** — an optional :class:`~repro.serving.cache.SubgraphCache`
+  is wired into the planner's extraction hook, so hot ego sub-graphs are
+  extracted once per batch instead of once per task.
+* **Pluggable execution** — an :class:`~repro.serving.backends.ExecutionBackend`
+  decides how the per-query jobs run (serially, on a thread pool, ...).
+
+Solvers that expose a ``plan(query)`` method (today: MeLoPPR) are executed
+through the planner/executor path, which is where the cache hook applies;
+any other solver falls back to its own ``solve`` and still benefits from
+batching, per-query timing and throughput accounting.
+
+Scores are bit-identical to the sequential ``solver.solve`` loop for every
+backend, with the cache enabled or disabled: queries are independent, task
+order within a query is preserved by the planner, and cached extractions are
+the same immutable objects a fresh extraction would produce.  The one field
+that legitimately differs is measurement, not computation: wall-clock timing
+always varies, and under a concurrent backend ``peak_memory_bytes`` reports
+the modelled working set because the process-global ``tracemalloc`` cannot
+attribute peaks to overlapping queries.  (Fallback solvers that measure
+memory themselves stay correct too — their tracked sections serialise on
+:class:`~repro.memory.tracker.MemoryTracker`'s shared lock — but pass
+``track_memory=False`` at solver construction to actually run in parallel.)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.meloppr.planner import execute_plan
+from repro.ppr.base import PPRQuery, PPRResult, PPRSolver
+from repro.serving.backends import ExecutionBackend, SerialBackend
+from repro.serving.cache import CacheStats, SubgraphCache
+
+__all__ = ["EngineStats", "QueryEngine"]
+
+
+@dataclass
+class EngineStats:
+    """Aggregate serving statistics of a :class:`QueryEngine`.
+
+    Attributes
+    ----------
+    backend:
+        Name of the execution backend.
+    queries_served, batches:
+        Totals since engine construction.
+    wall_seconds:
+        Wall-clock time spent inside ``solve_batch`` (the denominator of
+        :attr:`throughput_qps`).
+    query_seconds:
+        Sum of per-query latencies; under a parallel backend this exceeds
+        ``wall_seconds``, and their ratio is the effective parallelism.
+    min_latency_seconds, max_latency_seconds:
+        Extremes of the per-query latencies.
+    cache:
+        Snapshot of the sub-graph cache counters (``None`` without a cache).
+    """
+
+    backend: str
+    queries_served: int = 0
+    batches: int = 0
+    wall_seconds: float = 0.0
+    query_seconds: float = 0.0
+    min_latency_seconds: float = field(default=float("inf"))
+    max_latency_seconds: float = 0.0
+    cache: Optional[CacheStats] = None
+
+    @property
+    def throughput_qps(self) -> float:
+        """Queries served per wall-clock second (0.0 before any batch)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.queries_served / self.wall_seconds
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        """Mean per-query latency (0.0 before any query)."""
+        if self.queries_served == 0:
+            return 0.0
+        return self.query_seconds / self.queries_served
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON reports."""
+        return {
+            "backend": self.backend,
+            "queries_served": self.queries_served,
+            "batches": self.batches,
+            "wall_seconds": self.wall_seconds,
+            "query_seconds": self.query_seconds,
+            "throughput_qps": self.throughput_qps,
+            "mean_latency_seconds": self.mean_latency_seconds,
+            "min_latency_seconds": (
+                0.0 if self.queries_served == 0 else self.min_latency_seconds
+            ),
+            "max_latency_seconds": self.max_latency_seconds,
+            "cache": None if self.cache is None else self.cache.as_dict(),
+        }
+
+
+class QueryEngine:
+    """Batched PPR query serving over a pluggable execution backend.
+
+    Parameters
+    ----------
+    solver:
+        The solver answering individual queries.  A solver exposing
+        ``plan(query, track_memory=None)`` (MeLoPPR) runs through the
+        planner/executor path and can share extractions via the cache; other
+        solvers run their own ``solve``.
+    backend:
+        Execution strategy; defaults to :class:`SerialBackend`.
+    cache:
+        Optional shared ego-sub-graph cache.  Pass a configured
+        :class:`SubgraphCache` to reuse extractions across queries/batches.
+
+    Example
+    -------
+    >>> from repro.graph.generators import barabasi_albert_graph
+    >>> from repro.meloppr import MeLoPPRSolver
+    >>> from repro.ppr import PPRQuery
+    >>> from repro.serving import QueryEngine, SubgraphCache
+    >>> graph = barabasi_albert_graph(300, 2, rng=0)
+    >>> engine = QueryEngine(MeLoPPRSolver(graph), cache=SubgraphCache())
+    >>> results = engine.solve_batch([PPRQuery(seed=5, k=10), PPRQuery(seed=5, k=10)])
+    >>> engine.stats().queries_served
+    2
+    """
+
+    def __init__(
+        self,
+        solver: PPRSolver,
+        backend: Optional[ExecutionBackend] = None,
+        cache: Optional[SubgraphCache] = None,
+    ) -> None:
+        self._solver = solver
+        self._backend = backend if backend is not None else SerialBackend()
+        self._cache = cache
+        self._pending: List[PPRQuery] = []
+        self._stats = EngineStats(backend=self._backend.name)
+
+    # ------------------------------------------------------------------
+    @property
+    def solver(self) -> PPRSolver:
+        """The wrapped solver."""
+        return self._solver
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend."""
+        return self._backend
+
+    @property
+    def cache(self) -> Optional[SubgraphCache]:
+        """The shared sub-graph cache (``None`` when disabled)."""
+        return self._cache
+
+    @property
+    def num_pending(self) -> int:
+        """Queries submitted but not yet drained."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def submit(self, query: PPRQuery) -> int:
+        """Enqueue one query; returns its index in the next :meth:`drain`."""
+        self._pending.append(query)
+        return len(self._pending) - 1
+
+    def drain(self) -> List[PPRResult]:
+        """Answer every pending query (in submission order) and clear the queue."""
+        pending, self._pending = self._pending, []
+        if not pending:
+            return []
+        return self.solve_batch(pending)
+
+    def solve_batch(self, queries: Sequence[PPRQuery]) -> List[PPRResult]:
+        """Answer a batch of queries through the backend, in input order."""
+        queries = list(queries)
+        if not queries:
+            return []
+        start = time.perf_counter()
+        results = self._backend.map(self._solve_one, queries)
+        wall = time.perf_counter() - start
+
+        stats = self._stats
+        stats.batches += 1
+        stats.queries_served += len(results)
+        stats.wall_seconds += wall
+        for result in results:
+            latency = float(result.metadata["serving"]["latency_seconds"])
+            stats.query_seconds += latency
+            stats.min_latency_seconds = min(stats.min_latency_seconds, latency)
+            stats.max_latency_seconds = max(stats.max_latency_seconds, latency)
+        return results
+
+    def _solve_one(self, query: PPRQuery) -> PPRResult:
+        """Answer one query (runs on a backend worker)."""
+        start = time.perf_counter()
+        plan_factory = getattr(self._solver, "plan", None)
+        if plan_factory is not None:
+            extract = None if self._cache is None else self._cache.get_or_extract
+            # tracemalloc is process-global: under a concurrent backend two
+            # plans measuring at once would corrupt each other's peaks, so
+            # force tracking off there (peak_memory_bytes then reports the
+            # deterministic modelled working set instead).
+            track_memory = False if self._backend.concurrent else None
+            result = execute_plan(
+                plan_factory(query, track_memory=track_memory), extract=extract
+            )
+        else:
+            result = self._solver.solve(query)
+        latency = time.perf_counter() - start
+        result.metadata["serving"] = {
+            "backend": self._backend.name,
+            "latency_seconds": latency,
+            "cache_enabled": self._cache is not None,
+        }
+        return result
+
+    # ------------------------------------------------------------------
+    def stats(self) -> EngineStats:
+        """Aggregate stats snapshot (includes current cache counters)."""
+        stats = self._stats
+        return EngineStats(
+            backend=stats.backend,
+            queries_served=stats.queries_served,
+            batches=stats.batches,
+            wall_seconds=stats.wall_seconds,
+            query_seconds=stats.query_seconds,
+            min_latency_seconds=stats.min_latency_seconds,
+            max_latency_seconds=stats.max_latency_seconds,
+            cache=None if self._cache is None else self._cache.stats,
+        )
+
+    def close(self) -> None:
+        """Shut down the backend (the cache, if any, is left warm)."""
+        self._backend.close()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        cache = "none" if self._cache is None else repr(self._cache)
+        return (
+            f"QueryEngine(solver={self._solver!r}, backend={self._backend!r}, "
+            f"cache={cache})"
+        )

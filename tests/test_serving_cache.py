@@ -1,0 +1,140 @@
+"""Tests for the byte-budgeted LRU ego-sub-graph cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diffusion.diffusion import graph_diffusion, seed_vector
+from repro.graph.bfs import extract_ego_subgraph
+from repro.serving.cache import SubgraphCache, _entry_nbytes
+
+
+def _entry_size(graph, center, depth) -> int:
+    subgraph, bfs = extract_ego_subgraph(graph, center, depth)
+    return _entry_nbytes(subgraph, bfs)
+
+
+class TestHitMissAccounting:
+    def test_miss_then_hit(self, small_ba_graph):
+        cache = SubgraphCache(max_bytes=1 << 20)
+        _, _, hit = cache.get_or_extract(small_ba_graph, 5, 2)
+        assert not hit
+        _, _, hit = cache.get_or_extract(small_ba_graph, 5, 2)
+        assert hit
+        stats = cache.stats
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.lookups == 2
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert stats.num_entries == 1
+        assert stats.current_bytes > 0
+
+    def test_distinct_keys_do_not_collide(self, small_ba_graph):
+        cache = SubgraphCache(max_bytes=1 << 20)
+        cache.get_or_extract(small_ba_graph, 5, 2)
+        _, _, hit = cache.get_or_extract(small_ba_graph, 5, 3)
+        assert not hit  # same center, different depth
+        _, _, hit = cache.get_or_extract(small_ba_graph, 6, 2)
+        assert not hit  # different center, same depth
+        assert cache.stats.misses == 3
+
+    def test_stats_as_dict_round_trip(self, small_ba_graph):
+        cache = SubgraphCache(max_bytes=1 << 20)
+        cache.get_or_extract(small_ba_graph, 1, 2)
+        cache.get_or_extract(small_ba_graph, 1, 2)
+        payload = cache.stats.as_dict()
+        assert payload["hits"] == 1
+        assert payload["misses"] == 1
+        assert payload["hit_rate"] == pytest.approx(0.5)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            SubgraphCache(max_bytes=0)
+
+
+class TestByteBudgetEviction:
+    def test_lru_eviction_order(self, small_ba_graph):
+        # Depth-0 entries all have the same size (a single node, no edges);
+        # budget exactly two of them so inserting a third evicts the LRU one.
+        size = _entry_size(small_ba_graph, 0, 0)
+        assert size == _entry_size(small_ba_graph, 1, 0)
+        cache = SubgraphCache(max_bytes=2 * size + size // 2)
+        cache.get_or_extract(small_ba_graph, 0, 0)
+        cache.get_or_extract(small_ba_graph, 1, 0)
+        # Touch 0 so 1 becomes the LRU victim.
+        cache.get_or_extract(small_ba_graph, 0, 0)
+        cache.get_or_extract(small_ba_graph, 2, 0)
+        assert (0, 0) in cache
+        assert (1, 0) not in cache
+        assert (2, 0) in cache
+        assert cache.stats.evictions == 1
+
+    def test_budget_is_respected(self, small_ba_graph):
+        budget = 2 * _entry_size(small_ba_graph, 0, 2)
+        cache = SubgraphCache(max_bytes=budget)
+        for center in range(25):
+            cache.get_or_extract(small_ba_graph, center, 2)
+        assert cache.stats.current_bytes <= budget
+
+    def test_oversized_entry_is_not_cached(self, small_ba_graph):
+        cache = SubgraphCache(max_bytes=64)  # smaller than any extraction
+        subgraph, bfs, hit = cache.get_or_extract(small_ba_graph, 0, 2)
+        assert not hit
+        assert subgraph.num_nodes > 0
+        stats = cache.stats
+        assert stats.num_entries == 0
+        assert stats.rejected == 1
+        # A second lookup misses again (nothing was retained).
+        _, _, hit = cache.get_or_extract(small_ba_graph, 0, 2)
+        assert not hit
+
+    def test_clear_keeps_counters(self, small_ba_graph):
+        cache = SubgraphCache(max_bytes=1 << 20)
+        cache.get_or_extract(small_ba_graph, 0, 2)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+        assert cache.stats.current_bytes == 0
+
+    def test_cache_binds_to_one_graph(self, small_ba_graph, small_citation_graph):
+        cache = SubgraphCache(max_bytes=1 << 20)
+        cache.get_or_extract(small_ba_graph, 0, 2)
+        with pytest.raises(ValueError, match="bound to graph"):
+            cache.get_or_extract(small_citation_graph, 0, 2)
+        # clear() resets the binding.
+        cache.clear()
+        _, _, hit = cache.get_or_extract(small_citation_graph, 0, 2)
+        assert not hit
+
+
+class TestCachedExtractionCorrectness:
+    def test_cached_equals_fresh(self, small_citation_graph):
+        cache = SubgraphCache(max_bytes=1 << 22)
+        fresh_sub, fresh_bfs = extract_ego_subgraph(small_citation_graph, 11, 3)
+        cache.get_or_extract(small_citation_graph, 11, 3)
+        cached_sub, cached_bfs, hit = cache.get_or_extract(small_citation_graph, 11, 3)
+        assert hit
+        np.testing.assert_array_equal(cached_sub.global_ids, fresh_sub.global_ids)
+        np.testing.assert_array_equal(cached_sub.graph.indptr, fresh_sub.graph.indptr)
+        np.testing.assert_array_equal(cached_sub.graph.indices, fresh_sub.graph.indices)
+        np.testing.assert_array_equal(cached_bfs.nodes, fresh_bfs.nodes)
+        assert cached_bfs.edges_scanned == fresh_bfs.edges_scanned
+
+    def test_diffusion_on_cached_subgraph_matches(self, small_citation_graph):
+        cache = SubgraphCache(max_bytes=1 << 22)
+        fresh_sub, _ = extract_ego_subgraph(small_citation_graph, 7, 3)
+        cache.get_or_extract(small_citation_graph, 7, 3)
+        cached_sub, _, hit = cache.get_or_extract(small_citation_graph, 7, 3)
+        assert hit
+        fresh = graph_diffusion(
+            fresh_sub.graph, seed_vector(fresh_sub.num_nodes, fresh_sub.to_local(7)), 3, 0.85
+        )
+        cached = graph_diffusion(
+            cached_sub.graph,
+            seed_vector(cached_sub.num_nodes, cached_sub.to_local(7)),
+            3,
+            0.85,
+        )
+        np.testing.assert_array_equal(cached.accumulated, fresh.accumulated)
+        np.testing.assert_array_equal(cached.residual, fresh.residual)

@@ -1,0 +1,172 @@
+"""Tests for the query engine: backend equivalence, ordering, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.meloppr.config import MeLoPPRConfig
+from repro.meloppr.solver import MeLoPPRSolver
+from repro.ppr.base import PPRQuery
+from repro.ppr.local_ppr import LocalPPRSolver
+from repro.serving import (
+    QueryEngine,
+    SerialBackend,
+    SubgraphCache,
+    ThreadPoolBackend,
+)
+
+
+@pytest.fixture()
+def queries():
+    """A repeated-seed batch (seeds recur so the cache has something to hit)."""
+    seeds = [3, 11, 3, 27, 11, 3, 42, 27]
+    return [PPRQuery(seed=seed, k=40, alpha=0.85, length=6) for seed in seeds]
+
+
+@pytest.fixture()
+def solver(small_ba_graph):
+    return MeLoPPRSolver(small_ba_graph, MeLoPPRConfig.paper_default())
+
+
+def assert_results_identical(actual, expected):
+    """Same top-k nodes and scores within 1e-12, per query."""
+    assert len(actual) == len(expected)
+    for got, want in zip(actual, expected):
+        assert got.query == want.query
+        assert got.top_k_nodes() == want.top_k_nodes()
+        for node, score in want.scores.items():
+            assert got.scores.get(node) == pytest.approx(score, abs=1e-12)
+
+
+class TestBackendEquivalence:
+    """QueryEngine.solve_batch must match the sequential solve loop exactly."""
+
+    @pytest.mark.parametrize("with_cache", [False, True], ids=["cold", "cached"])
+    @pytest.mark.parametrize(
+        "backend_factory",
+        [SerialBackend, lambda: ThreadPoolBackend(4)],
+        ids=["serial", "threaded"],
+    )
+    def test_meloppr_matches_sequential(
+        self, small_ba_graph, solver, queries, backend_factory, with_cache
+    ):
+        expected = [solver.solve(query) for query in queries]
+        cache = SubgraphCache() if with_cache else None
+        with QueryEngine(solver, backend=backend_factory(), cache=cache) as engine:
+            results = engine.solve_batch(queries)
+        assert_results_identical(results, expected)
+        if with_cache:
+            assert engine.cache.stats.hits > 0
+
+    def test_non_planning_solver_falls_back_to_solve(self, small_ba_graph, queries):
+        solver = LocalPPRSolver(small_ba_graph, track_memory=False)
+        expected = [solver.solve(query) for query in queries]
+        with QueryEngine(solver, backend=ThreadPoolBackend(2)) as engine:
+            results = engine.solve_batch(queries)
+        assert_results_identical(results, expected)
+
+    def test_threaded_is_deterministic(self, solver, queries):
+        runs = []
+        for _ in range(2):
+            with QueryEngine(
+                solver, backend=ThreadPoolBackend(4), cache=SubgraphCache()
+            ) as engine:
+                runs.append(engine.solve_batch(queries))
+        for first, second in zip(*runs):
+            assert first.top_k() == second.top_k()
+
+    def test_concurrent_backend_disables_tracemalloc_tracking(self, solver, queries):
+        # tracemalloc is process-global; under a concurrent backend the
+        # engine must fall back to the deterministic modelled working set.
+        assert solver.config.track_memory
+        with QueryEngine(solver, backend=ThreadPoolBackend(4)) as engine:
+            results = engine.solve_batch(queries)
+        for result in results:
+            assert result.peak_memory_bytes == result.metadata["modelled_bytes"]
+
+    def test_fallback_solver_memory_tracking_is_safe_when_threaded(
+        self, small_ba_graph, queries
+    ):
+        import tracemalloc
+
+        # A non-planning solver that measures memory itself: its tracked
+        # sections serialise on MemoryTracker's shared lock, so the peaks
+        # stay meaningful and the global trace is left off afterwards.
+        solver = LocalPPRSolver(small_ba_graph, track_memory=True)
+        with QueryEngine(solver, backend=ThreadPoolBackend(4)) as engine:
+            results = engine.solve_batch(queries)
+        assert not tracemalloc.is_tracing()
+        for result in results:
+            assert result.peak_memory_bytes > 0
+
+    def test_result_order_matches_query_order(self, solver, queries):
+        with QueryEngine(solver, backend=ThreadPoolBackend(4)) as engine:
+            results = engine.solve_batch(queries)
+        assert [result.query.seed for result in results] == [
+            query.seed for query in queries
+        ]
+
+
+class TestSubmitDrain:
+    def test_submit_then_drain(self, solver, queries):
+        engine = QueryEngine(solver)
+        tickets = [engine.submit(query) for query in queries]
+        assert tickets == list(range(len(queries)))
+        assert engine.num_pending == len(queries)
+        results = engine.drain()
+        assert engine.num_pending == 0
+        assert [result.query.seed for result in results] == [q.seed for q in queries]
+
+    def test_drain_empty(self, solver):
+        assert QueryEngine(solver).drain() == []
+
+    def test_solve_batch_empty(self, solver):
+        assert QueryEngine(solver).solve_batch([]) == []
+
+
+class TestStats:
+    def test_engine_stats_populated(self, solver, queries):
+        cache = SubgraphCache()
+        with QueryEngine(solver, cache=cache) as engine:
+            engine.solve_batch(queries)
+            engine.solve_batch(queries)
+            stats = engine.stats()
+        assert stats.backend == "serial"
+        assert stats.queries_served == 2 * len(queries)
+        assert stats.batches == 2
+        assert stats.wall_seconds > 0
+        assert stats.throughput_qps > 0
+        assert stats.mean_latency_seconds > 0
+        assert stats.min_latency_seconds <= stats.max_latency_seconds
+        assert stats.cache is not None and stats.cache.hits > 0
+        payload = stats.as_dict()
+        assert payload["queries_served"] == 2 * len(queries)
+        assert payload["cache"]["hit_rate"] > 0
+
+    def test_per_query_serving_metadata(self, solver, queries):
+        with QueryEngine(solver, cache=SubgraphCache()) as engine:
+            results = engine.solve_batch(queries)
+        for result in results:
+            serving = result.metadata["serving"]
+            assert serving["backend"] == "serial"
+            assert serving["latency_seconds"] >= 0
+            assert serving["cache_enabled"] is True
+        # Repeated seeds after the first occurrence hit the warm cache.
+        assert any(result.metadata["cache_hits"] > 0 for result in results)
+
+    def test_cache_hit_and_miss_counts_in_result_metadata(self, solver):
+        query = PPRQuery(seed=3, k=20)
+        with QueryEngine(solver, cache=SubgraphCache()) as engine:
+            cold = engine.solve_batch([query])[0]
+            warm = engine.solve_batch([query])[0]
+        assert cold.metadata["cache_hits"] == 0
+        assert cold.metadata["cache_misses"] == cold.metadata["num_tasks"]
+        assert warm.metadata["cache_hits"] == warm.metadata["num_tasks"]
+        assert warm.metadata["cache_misses"] == 0
+
+    def test_solve_many_routes_through_engine(self, solver, queries):
+        results = solver.solve_many(queries)
+        expected = [solver.solve(query) for query in queries]
+        assert_results_identical(results, expected)
+        for result in results:
+            assert result.metadata["serving"]["backend"] == "serial"
