@@ -21,6 +21,7 @@ from repro.experiments.fig7_tradeoff import format_fig7, run_fig7
 from repro.experiments.quantization_study import format_quantization, run_quantization_study
 from repro.experiments.score_table_study import format_score_table, run_score_table_study
 from repro.experiments.serving_study import format_serving, run_serving_study
+from repro.experiments.sharding_study import format_sharding, run_sharding_study
 from repro.experiments.table1_resources import format_table1, run_table1
 from repro.experiments.table2_memory import format_table2, run_table2
 
@@ -101,6 +102,12 @@ def run_all(profile: ExperimentProfile = QUICK_PROFILE) -> Dict[str, str]:
         run_serving_study(
             num_seeds=profile.num_seeds_small,
             repeat_factor=4,
+        )
+    )
+    reports["E10_sharding"] = format_sharding(
+        run_sharding_study(
+            num_seeds=profile.num_seeds_small,
+            repeat_factor=3,
         )
     )
     return reports

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.reporting import format_ratio, format_table
-from repro.experiments.workloads import PAPER_ALPHA, PAPER_LENGTH, PAPER_STAGE_SPLIT, make_workload
+from repro.experiments.workloads import PAPER_STAGE_SPLIT, make_repeated_seed_workload
 from repro.meloppr.config import MeLoPPRConfig
 from repro.meloppr.selection import RatioSelector
 from repro.meloppr.solver import MeLoPPRSolver
@@ -25,7 +25,7 @@ from repro.ppr.base import PPRQuery
 from repro.serving.backends import ExecutionBackend, SerialBackend, ThreadPoolBackend
 from repro.serving.cache import SubgraphCache
 from repro.serving.engine import QueryEngine
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike
 
 __all__ = ["ServingRun", "ServingStudy", "run_serving_study", "format_serving"]
 
@@ -96,29 +96,6 @@ class ServingStudy:
         }
 
 
-def _repeated_seed_workload(
-    dataset: str,
-    num_seeds: int,
-    repeat_factor: int,
-    k: int,
-    rng: RngLike,
-):
-    """Build the hot-seed workload: each sampled seed queried many times."""
-    workload = make_workload(
-        dataset,
-        num_seeds=num_seeds,
-        k=k,
-        length=PAPER_LENGTH,
-        alpha=PAPER_ALPHA,
-        rng=rng,
-    )
-    queries = [query for query in workload.queries for _ in range(repeat_factor)]
-    # Interleave repeats the way real traffic would (not seed-sorted blocks).
-    generator = ensure_rng(rng)
-    order = generator.permutation(len(queries))
-    return workload.graph, [queries[index] for index in order]
-
-
 def run_serving_study(
     dataset: str = "G1",
     num_seeds: int = 8,
@@ -150,7 +127,7 @@ def run_serving_study(
         score_table_factor=10,
         track_memory=False,
     )
-    graph, queries = _repeated_seed_workload(dataset, num_seeds, repeat_factor, k, rng)
+    graph, queries = make_repeated_seed_workload(dataset, num_seeds, repeat_factor, k, rng)
 
     def make_engine(backend: ExecutionBackend, cached: bool) -> QueryEngine:
         return QueryEngine(

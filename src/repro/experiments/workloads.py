@@ -19,7 +19,14 @@ from repro.graph.datasets import load_dataset
 from repro.ppr.base import PPRQuery
 from repro.utils.rng import RngLike, ensure_rng
 
-__all__ = ["PAPER_K", "PAPER_LENGTH", "PAPER_STAGE_SPLIT", "Workload", "make_workload"]
+__all__ = [
+    "PAPER_K",
+    "PAPER_LENGTH",
+    "PAPER_STAGE_SPLIT",
+    "Workload",
+    "make_workload",
+    "make_repeated_seed_workload",
+]
 
 #: k, L and the stage split fixed for all of the paper's experiments (Sec. VI).
 PAPER_K = 200
@@ -115,3 +122,29 @@ def make_workload(
         PPRQuery(seed=int(seed), k=k, alpha=alpha, length=length) for seed in seeds
     )
     return Workload(dataset=dataset, graph=loaded, queries=queries)
+
+
+def make_repeated_seed_workload(
+    dataset: str,
+    num_seeds: int,
+    repeat_factor: int,
+    k: int,
+    rng: RngLike = None,
+) -> Tuple[CSRGraph, List[PPRQuery]]:
+    """Hot-seed serving workload: each sampled seed queried ``repeat_factor``
+    times, shuffled the way real repeated traffic arrives (not seed-sorted
+    blocks).  Shared by the serving studies E9 and E10 so both measure the
+    exact same traffic mix.
+    """
+    workload = make_workload(
+        dataset,
+        num_seeds=num_seeds,
+        k=k,
+        length=PAPER_LENGTH,
+        alpha=PAPER_ALPHA,
+        rng=rng,
+    )
+    queries = [query for query in workload.queries for _ in range(repeat_factor)]
+    generator = ensure_rng(rng)
+    order = generator.permutation(len(queries))
+    return workload.graph, [queries[index] for index in order]

@@ -1,6 +1,12 @@
 """Graph substrate: CSR graphs, builders, generators, datasets, BFS, sub-graphs."""
 
-from repro.graph.bfs import BFSResult, bfs_frontier_sizes, bfs_levels, extract_ego_subgraph
+from repro.graph.bfs import (
+    BFSResult,
+    bfs_frontier_sizes,
+    bfs_levels,
+    expand_frontier,
+    extract_ego_subgraph,
+)
 from repro.graph.builder import GraphBuilder
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import (
@@ -22,6 +28,16 @@ from repro.graph.generators import (
     watts_strogatz_graph,
 )
 from repro.graph.io import read_edge_list, read_snap_graph, write_edge_list
+from repro.graph.partition import (
+    DEFAULT_HALO_DEPTH,
+    PARTITIONERS,
+    GraphPartition,
+    GraphShard,
+    degree_balanced_partition,
+    hash_partition,
+    partition_graph,
+    range_partition,
+)
 from repro.graph.stats import GraphStats, compute_stats, degree_histogram
 from repro.graph.subgraph import Subgraph
 
@@ -29,6 +45,7 @@ __all__ = [
     "BFSResult",
     "bfs_frontier_sizes",
     "bfs_levels",
+    "expand_frontier",
     "extract_ego_subgraph",
     "GraphBuilder",
     "CSRGraph",
@@ -49,6 +66,14 @@ __all__ = [
     "read_edge_list",
     "read_snap_graph",
     "write_edge_list",
+    "DEFAULT_HALO_DEPTH",
+    "PARTITIONERS",
+    "GraphPartition",
+    "GraphShard",
+    "degree_balanced_partition",
+    "hash_partition",
+    "partition_graph",
+    "range_partition",
     "GraphStats",
     "compute_stats",
     "degree_histogram",

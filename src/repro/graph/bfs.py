@@ -18,7 +18,13 @@ from repro.graph.csr import CSRGraph
 from repro.graph.subgraph import Subgraph
 from repro.utils.validation import check_node_id, check_non_negative_int
 
-__all__ = ["BFSResult", "bfs_levels", "bfs_frontier_sizes", "extract_ego_subgraph"]
+__all__ = [
+    "BFSResult",
+    "bfs_levels",
+    "bfs_frontier_sizes",
+    "expand_frontier",
+    "extract_ego_subgraph",
+]
 
 
 @dataclass(frozen=True)
@@ -56,6 +62,34 @@ class BFSResult:
         return np.bincount(self.levels, minlength=self.depth + 1)
 
 
+def expand_frontier(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    frontier: np.ndarray,
+    visited: np.ndarray,
+) -> Tuple[np.ndarray, int]:
+    """One BFS level: the unvisited neighbours of ``frontier``, sorted by id.
+
+    The returned nodes are marked in ``visited`` (in place) and come out
+    ascending — the visit-order contract every extraction in the library
+    relies on (it is what makes shard-local and host-graph extractions
+    bit-identical).  Also returns the number of adjacency entries scanned,
+    the dominant term of the BFS cost model.  ``frontier`` must be non-empty.
+    """
+    starts = indptr[frontier]
+    ends = indptr[frontier + 1]
+    scanned = int((ends - starts).sum())
+    if frontier.size == 1:
+        neighbors = indices[starts[0] : ends[0]].astype(np.int64)
+    else:
+        neighbors = np.concatenate(
+            [indices[s:e] for s, e in zip(starts, ends)]
+        ).astype(np.int64)
+    fresh = np.unique(neighbors[~visited[neighbors]])
+    visited[fresh] = True
+    return fresh, scanned
+
+
 def bfs_levels(graph: CSRGraph, source: int, depth: int) -> BFSResult:
     """Breadth-first search from ``source`` limited to ``depth`` hops.
 
@@ -86,19 +120,10 @@ def bfs_levels(graph: CSRGraph, source: int, depth: int) -> BFSResult:
     for level in range(1, depth + 1):
         if frontier.size == 0:
             break
-        starts = indptr[frontier]
-        ends = indptr[frontier + 1]
-        edges_scanned += int((ends - starts).sum())
-        if frontier.size == 1:
-            neighbors = indices[starts[0] : ends[0]].astype(np.int64)
-        else:
-            neighbors = np.concatenate(
-                [indices[s:e] for s, e in zip(starts, ends)]
-            ).astype(np.int64)
-        fresh = np.unique(neighbors[~visited[neighbors]])
+        fresh, scanned = expand_frontier(indptr, indices, frontier, visited)
+        edges_scanned += scanned
         if fresh.size == 0:
             break
-        visited[fresh] = True
         node_chunks.append(fresh)
         level_chunks.append(np.full(fresh.size, level, dtype=np.int64))
         frontier = fresh

@@ -1,0 +1,350 @@
+"""Host-graph partitioning for sharded serving.
+
+MeLoPPR's memory story is that a stage task only ever touches a small
+``(center, depth)`` ego sub-graph — the host graph itself never needs to live
+in one memory.  This module makes that operational: it splits the node set
+into shards and builds, per shard, an induced CSR sub-graph over the shard's
+*owned* nodes plus a **halo** of every node within ``halo_depth`` hops of
+them.  A depth-``l`` ego extraction centred on an owned node then completes
+entirely shard-locally whenever ``l <= halo_depth``: the whole depth-``l``
+ball (nodes *and* the edges between them) is guaranteed to be present in the
+shard sub-graph, so the extraction — and therefore the diffusion it feeds —
+is bit-identical to one performed on the full host graph.
+
+Shard sub-graphs keep their global ids sorted ascending.  That is what makes
+the bit-identity hold all the way down: BFS discovers nodes level by level
+and sorts each level by node id, so "sorted by local id" and "sorted by
+global id" coincide, the visit order matches the host-graph extraction, and
+the relabelled ego CSR comes out with identical arrays.
+
+Three partitioners ship:
+
+* ``hash`` — multiplicative-hash assignment; stateless and uniform, the
+  default for unknown workloads.
+* ``range`` — contiguous node-id ranges; preserves any locality already
+  present in the id ordering (e.g. generator or crawl order) and minimises
+  the node→shard map's entropy.
+* ``degree`` — greedy degree-balanced (LPT) assignment; equalises the summed
+  degree per shard so one hub-heavy shard does not serve most of the traffic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.graph.bfs import expand_frontier
+from repro.graph.csr import CSRGraph
+from repro.graph.subgraph import Subgraph
+from repro.utils.validation import check_node_id
+
+__all__ = [
+    "DEFAULT_HALO_DEPTH",
+    "PARTITIONERS",
+    "GraphShard",
+    "GraphPartition",
+    "hash_partition",
+    "range_partition",
+    "degree_balanced_partition",
+    "partition_graph",
+]
+
+#: Default halo depth — the paper's stage lengths are ``l1 = l2 = 3``, so a
+#: depth-3 halo makes every stage task of the paper configuration shard-local.
+DEFAULT_HALO_DEPTH = 3
+
+#: Knuth's multiplicative hash constant (fits node ids without int64 overflow).
+_HASH_MULTIPLIER = 2654435761
+
+
+def hash_partition(graph: CSRGraph, num_shards: int) -> np.ndarray:
+    """Assign nodes to shards by multiplicative (Fibonacci) hash of the id.
+
+    The shard is taken from the product's *high* bits: reducing the raw
+    product modulo a power-of-two shard count would use only its low bits,
+    where an odd multiplier is the identity — i.e. it would silently
+    degenerate to ``node % num_shards``.
+    """
+    nodes = np.arange(graph.num_nodes, dtype=np.int64)
+    return ((nodes * _HASH_MULTIPLIER) >> 16) % num_shards
+
+
+def range_partition(graph: CSRGraph, num_shards: int) -> np.ndarray:
+    """Assign contiguous, near-equal node-id ranges to consecutive shards."""
+    bounds = np.linspace(0, graph.num_nodes, num_shards + 1)
+    assignments = np.searchsorted(bounds, np.arange(graph.num_nodes), side="right") - 1
+    return np.clip(assignments, 0, num_shards - 1).astype(np.int64)
+
+
+def degree_balanced_partition(graph: CSRGraph, num_shards: int) -> np.ndarray:
+    """Greedy LPT assignment balancing summed degree (plus one, so isolated
+    nodes still spread by count) across shards.
+
+    Nodes are placed highest-degree first onto the currently lightest shard;
+    ties break towards the lowest shard id, keeping the result deterministic.
+    """
+    degrees = graph.degrees()
+    order = np.argsort(-degrees, kind="stable")
+    assignments = np.empty(graph.num_nodes, dtype=np.int64)
+    heap: List[Tuple[int, int]] = [(0, shard) for shard in range(num_shards)]
+    heapq.heapify(heap)
+    for node in order:
+        load, shard = heapq.heappop(heap)
+        assignments[node] = shard
+        heapq.heappush(heap, (load + int(degrees[node]) + 1, shard))
+    return assignments
+
+
+PARTITIONERS: Dict[str, Callable[[CSRGraph, int], np.ndarray]] = {
+    "hash": hash_partition,
+    "range": range_partition,
+    "degree": degree_balanced_partition,
+}
+
+
+def _expand_with_halo(graph: CSRGraph, owned: np.ndarray, halo_depth: int) -> np.ndarray:
+    """Owned nodes plus every node within ``halo_depth`` hops of them (sorted).
+
+    A multi-source BFS: ``owned`` is the whole level-0 frontier, and each
+    :func:`~repro.graph.bfs.expand_frontier` call adds the next hop ring.
+    """
+    visited = np.zeros(graph.num_nodes, dtype=bool)
+    visited[owned] = True
+    frontier = owned
+    for _ in range(halo_depth):
+        if frontier.size == 0:
+            break
+        frontier, _ = expand_frontier(graph.indptr, graph.indices, frontier, visited)
+    return np.nonzero(visited)[0].astype(np.int64)
+
+
+@dataclass(frozen=True)
+class GraphShard:
+    """One shard: the owned nodes and the halo-extended induced sub-graph.
+
+    Attributes
+    ----------
+    shard_id:
+        Index of the shard in its :class:`GraphPartition`.
+    owned:
+        Sorted global ids of the nodes this shard owns (disjoint across
+        shards; their union is the full node set).
+    subgraph:
+        Induced sub-graph over ``owned`` plus the halo, global ids sorted
+        ascending.  Ego extractions of depth ``<= halo_depth`` centred on an
+        owned node complete inside this sub-graph, bit-identically to the
+        host-graph extraction.
+    owned_local_mask:
+        Boolean mask over the sub-graph's local ids; ``True`` where the local
+        node is owned (``False`` marks halo replicas).
+    """
+
+    shard_id: int
+    owned: np.ndarray
+    subgraph: Subgraph
+    owned_local_mask: np.ndarray
+
+    @property
+    def num_owned(self) -> int:
+        """Number of nodes this shard owns."""
+        return int(self.owned.size)
+
+    @property
+    def num_halo(self) -> int:
+        """Number of halo replicas (present but owned elsewhere)."""
+        return int(self.subgraph.num_nodes - self.owned.size)
+
+    def owns(self, node: int) -> bool:
+        """Whether the shard owns the global node ``node``."""
+        position = np.searchsorted(self.owned, int(node))
+        return bool(position < self.owned.size and self.owned[position] == node)
+
+    def nbytes(self) -> int:
+        """Bytes retained by this shard (CSR arrays + global-id map)."""
+        return int(self.subgraph.graph.nbytes() + self.subgraph.global_ids.nbytes)
+
+    def halo_bytes(self) -> int:
+        """Bytes attributable to halo replication (halo rows + id entries)."""
+        graph = self.subgraph.graph
+        halo_mask = ~self.owned_local_mask
+        halo_row_entries = int(graph.degrees()[halo_mask].sum())
+        num_halo = int(halo_mask.sum())
+        return int(
+            halo_row_entries * graph.indices.itemsize
+            + num_halo * (graph.indptr.itemsize + self.subgraph.global_ids.itemsize)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphShard(shard_id={self.shard_id}, owned={self.num_owned}, "
+            f"halo={self.num_halo})"
+        )
+
+
+@dataclass(frozen=True)
+class GraphPartition:
+    """A host graph split into shards with halo-extended sub-graphs.
+
+    Attributes
+    ----------
+    host:
+        The partitioned host graph.
+    strategy:
+        Name of the partitioner that produced the assignment.
+    halo_depth:
+        Hop radius of the halo around each shard's owned set.  Extractions of
+        depth ``<= halo_depth`` are shard-local (:meth:`covers_depth`).
+    assignments:
+        ``assignments[node]`` is the owning shard of ``node``.
+    shards:
+        The per-shard data, indexed by shard id.
+    """
+
+    host: CSRGraph
+    strategy: str
+    halo_depth: int
+    assignments: np.ndarray
+    shards: Tuple[GraphShard, ...]
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards."""
+        return len(self.shards)
+
+    def shard_of(self, node: int) -> int:
+        """Owning shard id of a global node."""
+        node = check_node_id(node, self.host.num_nodes)
+        return int(self.assignments[node])
+
+    def shard_for(self, node: int) -> GraphShard:
+        """Owning shard of a global node."""
+        return self.shards[self.shard_of(node)]
+
+    def covers_depth(self, depth: int) -> bool:
+        """Whether depth-``depth`` extractions complete shard-locally."""
+        return depth <= self.halo_depth
+
+    # ------------------------------------------------------------------
+    def total_nbytes(self) -> int:
+        """Bytes retained across all shard sub-graphs."""
+        return sum(shard.nbytes() for shard in self.shards)
+
+    def halo_overhead_bytes(self) -> int:
+        """Bytes spent on halo replication across all shards."""
+        return sum(shard.halo_bytes() for shard in self.shards)
+
+    def replication_factor(self) -> float:
+        """Total shard-resident nodes over host nodes (1.0 = no replication)."""
+        if self.host.num_nodes == 0:
+            return 1.0
+        total = sum(shard.subgraph.num_nodes for shard in self.shards)
+        return total / self.host.num_nodes
+
+    def owned_balance(self) -> float:
+        """Largest owned-node count over the ideal even share (1.0 = perfect)."""
+        if self.host.num_nodes == 0:
+            return 1.0
+        mean = self.host.num_nodes / self.num_shards
+        return max(shard.num_owned for shard in self.shards) / mean
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON reports."""
+        return {
+            "strategy": self.strategy,
+            "num_shards": self.num_shards,
+            "halo_depth": self.halo_depth,
+            "num_nodes": self.host.num_nodes,
+            "num_edges": self.host.num_edges,
+            "total_nbytes": self.total_nbytes(),
+            "halo_overhead_bytes": self.halo_overhead_bytes(),
+            "replication_factor": self.replication_factor(),
+            "owned_balance": self.owned_balance(),
+            "shards": [
+                {
+                    "shard_id": shard.shard_id,
+                    "num_owned": shard.num_owned,
+                    "num_halo": shard.num_halo,
+                    "num_edges": shard.subgraph.num_edges,
+                    "nbytes": shard.nbytes(),
+                    "halo_bytes": shard.halo_bytes(),
+                }
+                for shard in self.shards
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphPartition(host={self.host.name!r}, strategy={self.strategy!r}, "
+            f"num_shards={self.num_shards}, halo_depth={self.halo_depth})"
+        )
+
+
+def partition_graph(
+    graph: CSRGraph,
+    num_shards: int,
+    strategy: str = "hash",
+    halo_depth: int = DEFAULT_HALO_DEPTH,
+) -> GraphPartition:
+    """Partition ``graph`` into ``num_shards`` halo-extended shards.
+
+    Parameters
+    ----------
+    graph:
+        The host graph.
+    num_shards:
+        Number of shards (``>= 1``; shards may end up empty when the graph is
+        smaller than the shard count).
+    strategy:
+        Partitioner name — one of :data:`PARTITIONERS`
+        (``"hash"``, ``"range"``, ``"degree"``).
+    halo_depth:
+        Hop radius of the halo; extraction depths up to this complete
+        shard-locally.  Larger halos trade replicated bytes for locality.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if halo_depth < 0:
+        raise ValueError(f"halo_depth must be >= 0, got {halo_depth}")
+    partitioner = PARTITIONERS.get(strategy)
+    if partitioner is None:
+        raise ValueError(
+            f"unknown partition strategy {strategy!r}; "
+            f"choose from {sorted(PARTITIONERS)}"
+        )
+    assignments = np.asarray(partitioner(graph, num_shards), dtype=np.int64)
+    if assignments.shape != (graph.num_nodes,):
+        raise ValueError(
+            f"partitioner {strategy!r} returned assignment of shape "
+            f"{assignments.shape}, expected ({graph.num_nodes},)"
+        )
+    if assignments.size and (assignments.min() < 0 or assignments.max() >= num_shards):
+        raise ValueError(
+            f"partitioner {strategy!r} assigned shards outside [0, {num_shards})"
+        )
+
+    shards = []
+    for shard_id in range(num_shards):
+        owned = np.nonzero(assignments == shard_id)[0].astype(np.int64)
+        members = _expand_with_halo(graph, owned, halo_depth)
+        subgraph = Subgraph.induced(
+            graph, members, name=f"{graph.name}:shard{shard_id}"
+        )
+        owned_local_mask = np.isin(members, owned, assume_unique=True)
+        shards.append(
+            GraphShard(
+                shard_id=shard_id,
+                owned=owned,
+                subgraph=subgraph,
+                owned_local_mask=owned_local_mask,
+            )
+        )
+    return GraphPartition(
+        host=graph,
+        strategy=strategy,
+        halo_depth=int(halo_depth),
+        assignments=assignments,
+        shards=tuple(shards),
+    )

@@ -1,15 +1,19 @@
-"""Query serving: batching, ego-sub-graph caching, pluggable execution.
+"""Query serving: batching, caching, sharding, pluggable execution.
 
 This package is the engine layer between the PPR solvers and callers with
 traffic: it batches queries (:class:`QueryEngine`), reuses BFS extractions
-across them (:class:`SubgraphCache`) and runs the per-query work on a
-pluggable :class:`ExecutionBackend` (serial or thread-pool today).  The
-algorithmic stage loop it drives lives in :mod:`repro.meloppr.planner`.
+across them (:class:`SubgraphCache`), routes extractions to the shard owning
+them (:class:`ShardRouter` over a
+:class:`~repro.graph.partition.GraphPartition`, one cache per shard) and runs
+the per-query work on a pluggable :class:`ExecutionBackend` (serial or
+thread-pool today).  The algorithmic stage loop it drives lives in
+:mod:`repro.meloppr.planner`.
 """
 
 from repro.serving.backends import ExecutionBackend, SerialBackend, ThreadPoolBackend
 from repro.serving.cache import DEFAULT_CACHE_BYTES, CacheStats, SubgraphCache
 from repro.serving.engine import EngineStats, QueryEngine
+from repro.serving.sharding import RouterStats, ShardRouter, ShardServingStats
 
 __all__ = [
     "ExecutionBackend",
@@ -20,4 +24,7 @@ __all__ = [
     "SubgraphCache",
     "EngineStats",
     "QueryEngine",
+    "RouterStats",
+    "ShardRouter",
+    "ShardServingStats",
 ]

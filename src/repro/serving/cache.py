@@ -222,6 +222,34 @@ class SubgraphCache:
         self.put(center, depth, subgraph, bfs)
         return subgraph, bfs, False
 
+    def validate(self) -> None:
+        """Check the internal invariants, raising ``AssertionError`` on drift.
+
+        Invariants: ``current_bytes`` equals the sum of the retained entries'
+        sizes, never exceeds the budget, and every retained entry's recorded
+        size matches a recomputation.  Used by the concurrency stress tests;
+        cheap enough to call after any sequence of operations.
+        """
+        with self._lock:
+            recomputed = 0
+            for (subgraph, bfs, nbytes) in self._entries.values():
+                actual = _entry_nbytes(subgraph, bfs)
+                if actual != nbytes:
+                    raise AssertionError(
+                        f"entry records {nbytes} bytes but holds {actual}"
+                    )
+                recomputed += nbytes
+            if recomputed != self._current_bytes:
+                raise AssertionError(
+                    f"current_bytes={self._current_bytes} but entries sum to "
+                    f"{recomputed}"
+                )
+            if self._current_bytes > self._max_bytes:
+                raise AssertionError(
+                    f"current_bytes={self._current_bytes} exceeds the budget "
+                    f"{self._max_bytes}"
+                )
+
     def clear(self) -> None:
         """Drop every entry and the graph binding (counters are kept)."""
         with self._lock:

@@ -41,6 +41,7 @@ from repro.meloppr.planner import execute_plan
 from repro.ppr.base import PPRQuery, PPRResult, PPRSolver
 from repro.serving.backends import ExecutionBackend, SerialBackend
 from repro.serving.cache import CacheStats, SubgraphCache
+from repro.serving.sharding import RouterStats, ShardRouter
 
 __all__ = ["EngineStats", "QueryEngine"]
 
@@ -65,6 +66,8 @@ class EngineStats:
         Extremes of the per-query latencies.
     cache:
         Snapshot of the sub-graph cache counters (``None`` without a cache).
+    router:
+        Snapshot of the shard-routing counters (``None`` when unsharded).
     """
 
     backend: str
@@ -75,6 +78,7 @@ class EngineStats:
     min_latency_seconds: float = field(default=float("inf"))
     max_latency_seconds: float = 0.0
     cache: Optional[CacheStats] = None
+    router: Optional[RouterStats] = None
 
     @property
     def throughput_qps(self) -> float:
@@ -105,6 +109,7 @@ class EngineStats:
             ),
             "max_latency_seconds": self.max_latency_seconds,
             "cache": None if self.cache is None else self.cache.as_dict(),
+            "router": None if self.router is None else self.router.as_dict(),
         }
 
 
@@ -123,6 +128,10 @@ class QueryEngine:
     cache:
         Optional shared ego-sub-graph cache.  Pass a configured
         :class:`SubgraphCache` to reuse extractions across queries/batches.
+    router:
+        Optional :class:`~repro.serving.sharding.ShardRouter` serving
+        extractions from a partitioned host graph (one cache per shard).
+        Mutually exclusive with ``cache`` — the router owns its caches.
 
     Example
     -------
@@ -142,10 +151,17 @@ class QueryEngine:
         solver: PPRSolver,
         backend: Optional[ExecutionBackend] = None,
         cache: Optional[SubgraphCache] = None,
+        router: Optional[ShardRouter] = None,
     ) -> None:
+        if cache is not None and router is not None:
+            raise ValueError(
+                "pass either cache= or router=, not both: the router owns "
+                "one cache per shard"
+            )
         self._solver = solver
         self._backend = backend if backend is not None else SerialBackend()
         self._cache = cache
+        self._router = router
         self._pending: List[PPRQuery] = []
         self._stats = EngineStats(backend=self._backend.name)
 
@@ -164,6 +180,11 @@ class QueryEngine:
     def cache(self) -> Optional[SubgraphCache]:
         """The shared sub-graph cache (``None`` when disabled)."""
         return self._cache
+
+    @property
+    def router(self) -> Optional[ShardRouter]:
+        """The shard router (``None`` when serving the unsharded graph)."""
+        return self._router
 
     @property
     def num_pending(self) -> int:
@@ -208,7 +229,12 @@ class QueryEngine:
         start = time.perf_counter()
         plan_factory = getattr(self._solver, "plan", None)
         if plan_factory is not None:
-            extract = None if self._cache is None else self._cache.get_or_extract
+            if self._router is not None:
+                extract = self._router.extract
+            elif self._cache is not None:
+                extract = self._cache.get_or_extract
+            else:
+                extract = None
             # tracemalloc is process-global: under a concurrent backend two
             # plans measuring at once would corrupt each other's peaks, so
             # force tracking off there (peak_memory_bytes then reports the
@@ -223,7 +249,11 @@ class QueryEngine:
         result.metadata["serving"] = {
             "backend": self._backend.name,
             "latency_seconds": latency,
-            "cache_enabled": self._cache is not None,
+            "cache_enabled": (
+                self._cache is not None
+                or (self._router is not None and self._router.caching_enabled)
+            ),
+            "sharded": self._router is not None,
         }
         return result
 
@@ -240,21 +270,50 @@ class QueryEngine:
             min_latency_seconds=stats.min_latency_seconds,
             max_latency_seconds=stats.max_latency_seconds,
             cache=None if self._cache is None else self._cache.stats,
+            router=None if self._router is None else self._router.stats(),
         )
 
-    def close(self) -> None:
-        """Shut down the backend (the cache, if any, is left warm)."""
+    def close(self, discard_pending: bool = False) -> None:
+        """Shut down the backend (the cache, if any, is left warm).
+
+        Submitted-but-undrained queries are answers the caller still expects,
+        so closing with a non-empty queue raises unless ``discard_pending``
+        explicitly waives them — call :meth:`drain` first to get the results.
+        """
+        if self._pending:
+            if not discard_pending:
+                raise RuntimeError(
+                    f"{len(self._pending)} submitted queries are still pending; "
+                    "drain() before close(), or close(discard_pending=True) "
+                    "to drop them"
+                )
+            self._pending.clear()
         self._backend.close()
 
     def __enter__(self) -> "QueryEngine":
         return self
 
     def __exit__(self, exc_type, exc, traceback) -> None:
+        # When the body is already raising, don't mask its exception with the
+        # pending-queries error — the queue is forfeit either way.
+        if exc_type is not None:
+            self.close(discard_pending=True)
+            return
+        pending = len(self._pending)
+        if pending:
+            # The engine reference dies with the with-block, so the backend
+            # must be shut down (worker threads joined) before surfacing the
+            # dropped-queries error.
+            self.close(discard_pending=True)
+            raise RuntimeError(
+                f"{pending} submitted queries were still pending at context "
+                "exit; drain() before leaving the with-block"
+            )
         self.close()
 
     def __repr__(self) -> str:
         cache = "none" if self._cache is None else repr(self._cache)
         return (
             f"QueryEngine(solver={self._solver!r}, backend={self._backend!r}, "
-            f"cache={cache})"
+            f"cache={cache}, router={self._router!r})"
         )

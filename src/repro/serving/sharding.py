@@ -1,0 +1,356 @@
+"""Shard-routed extraction for the serving engine.
+
+:class:`ShardRouter` is the serving-side counterpart of
+:class:`~repro.graph.partition.GraphPartition`: it owns one
+:class:`~repro.serving.cache.SubgraphCache` per shard and implements the
+planner's extraction hook (``(graph, center, depth) -> (subgraph, bfs, hit)``),
+so a :class:`~repro.serving.engine.QueryEngine` constructed with ``router=``
+answers every stage task from the shard that owns the task's centre node.
+
+Routing is a pure function of the task: the owning shard is
+``partition.assignments[center]``, and the extraction runs on that shard's
+halo-extended sub-graph whenever ``depth <= halo_depth`` — in which case the
+result is **bit-identical** to a full-graph extraction (the halo guarantees
+the whole ego ball, and sorted global ids guarantee the same BFS visit order
+and relabelled CSR).  Deeper extractions fall back to the host graph (served
+through a dedicated fallback cache) and are counted in
+:attr:`RouterStats.fallback_extractions` so the cost of an undersized halo is
+visible in every report.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.bfs import BFSResult, extract_ego_subgraph
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import GraphPartition, GraphShard
+from repro.graph.subgraph import Subgraph
+from repro.serving.cache import DEFAULT_CACHE_BYTES, CacheStats, SubgraphCache
+from repro.utils.validation import check_node_id
+
+__all__ = ["ShardServingStats", "RouterStats", "ShardRouter"]
+
+
+@dataclass(frozen=True)
+class ShardServingStats:
+    """Serving counters of one shard.
+
+    Attributes
+    ----------
+    shard_id:
+        The shard.
+    num_owned, num_halo:
+        Static partition shape (owned nodes, halo replicas).
+    local_extractions:
+        Extractions answered from this shard's sub-graph.
+    fallback_extractions:
+        Extractions owned by this shard whose depth exceeded the halo and
+        were answered from the host graph instead.
+    cache:
+        Snapshot of the shard's cache counters (``None`` with caching off).
+    """
+
+    shard_id: int
+    num_owned: int
+    num_halo: int
+    local_extractions: int
+    fallback_extractions: int
+    cache: Optional[CacheStats]
+
+    @property
+    def hit_rate(self) -> float:
+        """Shard-cache hit rate (0.0 with caching off or before any lookup)."""
+        return 0.0 if self.cache is None else self.cache.hit_rate
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON reports."""
+        return {
+            "shard_id": self.shard_id,
+            "num_owned": self.num_owned,
+            "num_halo": self.num_halo,
+            "local_extractions": self.local_extractions,
+            "fallback_extractions": self.fallback_extractions,
+            "cache": None if self.cache is None else self.cache.as_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class RouterStats:
+    """Aggregate routing statistics of a :class:`ShardRouter`.
+
+    Attributes
+    ----------
+    strategy, num_shards, halo_depth:
+        Shape of the underlying partition.
+    shards:
+        Per-shard counters.
+    fallback_cache:
+        Counters of the host-graph fallback cache (``None`` with caching off).
+    halo_overhead_bytes:
+        Bytes the partition spends on halo replication.
+    """
+
+    strategy: str
+    num_shards: int
+    halo_depth: int
+    shards: Tuple[ShardServingStats, ...]
+    fallback_cache: Optional[CacheStats]
+    halo_overhead_bytes: int
+
+    @property
+    def local_extractions(self) -> int:
+        """Extractions answered shard-locally."""
+        return sum(shard.local_extractions for shard in self.shards)
+
+    @property
+    def fallback_extractions(self) -> int:
+        """Extractions that fell back to the host graph."""
+        return sum(shard.fallback_extractions for shard in self.shards)
+
+    @property
+    def total_extractions(self) -> int:
+        """All routed extractions."""
+        return self.local_extractions + self.fallback_extractions
+
+    @property
+    def fallback_rate(self) -> float:
+        """Fraction of extractions that crossed shards (0.0 before any)."""
+        total = self.total_extractions
+        return self.fallback_extractions / total if total else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Aggregate cache hit rate over the shard and fallback caches."""
+        hits = misses = 0
+        for shard in self.shards:
+            if shard.cache is not None:
+                hits += shard.cache.hits
+                misses += shard.cache.misses
+        if self.fallback_cache is not None:
+            hits += self.fallback_cache.hits
+            misses += self.fallback_cache.misses
+        lookups = hits + misses
+        return hits / lookups if lookups else 0.0
+
+    def per_shard_hit_rates(self) -> List[float]:
+        """Shard-cache hit rates, indexed by shard id."""
+        return [shard.hit_rate for shard in self.shards]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON reports."""
+        return {
+            "strategy": self.strategy,
+            "num_shards": self.num_shards,
+            "halo_depth": self.halo_depth,
+            "local_extractions": self.local_extractions,
+            "fallback_extractions": self.fallback_extractions,
+            "fallback_rate": self.fallback_rate,
+            "hit_rate": self.hit_rate,
+            "per_shard_hit_rates": self.per_shard_hit_rates(),
+            "halo_overhead_bytes": self.halo_overhead_bytes,
+            "shards": [shard.as_dict() for shard in self.shards],
+            "fallback_cache": (
+                None if self.fallback_cache is None else self.fallback_cache.as_dict()
+            ),
+        }
+
+
+class ShardRouter:
+    """Routes ego-sub-graph extractions to the shard owning their centre.
+
+    Parameters
+    ----------
+    partition:
+        The sharded host graph.
+    cache_bytes:
+        Byte budget of **each** per-shard cache (and of the fallback cache).
+        Pass ``None`` to disable caching entirely.
+
+    Notes
+    -----
+    The router is thread-safe: the partition is immutable, the caches are
+    internally locked, and the routing counters are guarded by a router lock,
+    so one router can serve a concurrent backend.  ``router.extract`` has
+    exactly the planner's :data:`~repro.meloppr.planner.ExtractFn` signature;
+    ``QueryEngine(..., router=router)`` wires it in.
+    """
+
+    def __init__(
+        self,
+        partition: GraphPartition,
+        cache_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
+    ) -> None:
+        self._partition = partition
+        self._caches: Tuple[Optional[SubgraphCache], ...] = tuple(
+            SubgraphCache(cache_bytes) if cache_bytes is not None else None
+            for _ in partition.shards
+        )
+        self._fallback_cache: Optional[SubgraphCache] = (
+            SubgraphCache(cache_bytes) if cache_bytes is not None else None
+        )
+        # Routing counters are guarded per shard so the hot path never
+        # serialises unrelated shards on one router-global lock.
+        self._counter_locks = tuple(
+            threading.Lock() for _ in range(partition.num_shards)
+        )
+        self._local_counts = [0] * partition.num_shards
+        self._fallback_counts = [0] * partition.num_shards
+        # The partition is frozen, so its halo cost is a constant — computed
+        # once here rather than on every stats() snapshot.
+        self._halo_overhead_bytes = partition.halo_overhead_bytes()
+
+    # ------------------------------------------------------------------
+    @property
+    def partition(self) -> GraphPartition:
+        """The underlying partition."""
+        return self._partition
+
+    @property
+    def caching_enabled(self) -> bool:
+        """Whether per-shard (and fallback) caches are active."""
+        return self._fallback_cache is not None
+
+    def cache_for(self, shard_id: int) -> Optional[SubgraphCache]:
+        """The cache of one shard (``None`` with caching off)."""
+        return self._caches[shard_id]
+
+    # ------------------------------------------------------------------
+    def extract(
+        self, graph: CSRGraph, center: int, depth: int
+    ) -> Tuple[Subgraph, BFSResult, bool]:
+        """The engine's extraction hook, routed to the owning shard.
+
+        ``graph`` must be the partitioned host graph — the router refuses to
+        serve any other graph, because the shard sub-graphs would silently
+        describe the wrong topology.
+        """
+        if graph is not self._partition.host:
+            raise ValueError(
+                f"router is bound to graph {self._partition.host.name!r}; "
+                f"got {graph.name!r}"
+            )
+        center = check_node_id(center, graph.num_nodes, "center")
+        shard_id = int(self._partition.assignments[center])
+        if self._partition.covers_depth(depth):
+            with self._counter_locks[shard_id]:
+                self._local_counts[shard_id] += 1
+            return self._extract_local(shard_id, center, depth)
+        with self._counter_locks[shard_id]:
+            self._fallback_counts[shard_id] += 1
+        if self._fallback_cache is not None:
+            return self._fallback_cache.get_or_extract(graph, center, depth)
+        subgraph, bfs = extract_ego_subgraph(graph, center, depth)
+        return subgraph, bfs, False
+
+    __call__ = extract
+
+    def _extract_local(
+        self, shard_id: int, center: int, depth: int
+    ) -> Tuple[Subgraph, BFSResult, bool]:
+        """Extract on the shard sub-graph and translate back to global ids."""
+        cache = self._caches[shard_id]
+        if cache is not None:
+            cached = cache.get(center, depth)
+            if cached is not None:
+                return cached[0], cached[1], True
+        shard = self._partition.shards[shard_id]
+        subgraph, bfs = _globalize_extraction(
+            self._partition.host, shard, center, depth
+        )
+        if cache is not None:
+            cache.put(center, depth, subgraph, bfs)
+        return subgraph, bfs, False
+
+    # ------------------------------------------------------------------
+    def stats(self) -> RouterStats:
+        """A snapshot of the routing and cache counters.
+
+        Each counter source (a shard's routing counts, a cache's stats) is
+        internally consistent, but with traffic in flight the sources may be
+        mutually out of step — e.g. an extraction whose routing counter is
+        already visible but whose cache lookup is not.  Quiesce the engine
+        (or join the backend's workers) before asserting exact cross-source
+        invariants, as the stress tests do.
+        """
+        local_counts = []
+        fallback_counts = []
+        for shard_id, lock in enumerate(self._counter_locks):
+            with lock:
+                local_counts.append(self._local_counts[shard_id])
+                fallback_counts.append(self._fallback_counts[shard_id])
+        partition = self._partition
+        shards = tuple(
+            ShardServingStats(
+                shard_id=shard.shard_id,
+                num_owned=shard.num_owned,
+                num_halo=shard.num_halo,
+                local_extractions=local_counts[shard.shard_id],
+                fallback_extractions=fallback_counts[shard.shard_id],
+                cache=(
+                    None
+                    if self._caches[shard.shard_id] is None
+                    else self._caches[shard.shard_id].stats
+                ),
+            )
+            for shard in partition.shards
+        )
+        return RouterStats(
+            strategy=partition.strategy,
+            num_shards=partition.num_shards,
+            halo_depth=partition.halo_depth,
+            shards=shards,
+            fallback_cache=(
+                None if self._fallback_cache is None else self._fallback_cache.stats
+            ),
+            halo_overhead_bytes=self._halo_overhead_bytes,
+        )
+
+    def validate(self) -> None:
+        """Check every cache's internal invariants (testing aid)."""
+        for cache in self._caches:
+            if cache is not None:
+                cache.validate()
+        if self._fallback_cache is not None:
+            self._fallback_cache.validate()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardRouter(partition={self._partition!r}, "
+            f"caching={'on' if self.caching_enabled else 'off'})"
+        )
+
+
+def _globalize_extraction(
+    host: CSRGraph, shard: GraphShard, center: int, depth: int
+) -> Tuple[Subgraph, BFSResult]:
+    """Run the extraction on the shard sub-graph, translated to global ids.
+
+    The returned objects are indistinguishable from
+    ``extract_ego_subgraph(host, center, depth)``: same relabelled CSR arrays,
+    same global-id mapping, same BFS visit order and ``edges_scanned`` —
+    guaranteed by the halo covering the full ego ball and by the shard's
+    global ids being sorted ascending (see :mod:`repro.graph.partition`).
+    """
+    shard_ids = shard.subgraph.global_ids
+    local_center = shard.subgraph.to_local(center)
+    local_subgraph, local_bfs = extract_ego_subgraph(
+        shard.subgraph.graph, local_center, depth
+    )
+    ego_graph = local_subgraph.graph
+    renamed = CSRGraph(
+        ego_graph.indptr,
+        ego_graph.indices,
+        name=f"{host.name}:G{depth}({int(center)})",
+    )
+    subgraph = Subgraph(renamed, shard_ids[local_subgraph.global_ids])
+    bfs = BFSResult(
+        source=int(center),
+        depth=depth,
+        nodes=shard_ids[local_bfs.nodes],
+        levels=local_bfs.levels,
+        edges_scanned=local_bfs.edges_scanned,
+    )
+    return subgraph, bfs

@@ -1,0 +1,171 @@
+"""Tests for the graph partitioners and halo-extended shard construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.bfs import bfs_levels
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.partition import (
+    DEFAULT_HALO_DEPTH,
+    PARTITIONERS,
+    degree_balanced_partition,
+    hash_partition,
+    partition_graph,
+    range_partition,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert_graph(120, 2, rng=13, name="ba120")
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("strategy", sorted(PARTITIONERS))
+    @pytest.mark.parametrize("num_shards", [1, 2, 5])
+    def test_assignment_is_total_and_in_range(self, graph, strategy, num_shards):
+        assignments = PARTITIONERS[strategy](graph, num_shards)
+        assert assignments.shape == (graph.num_nodes,)
+        assert assignments.min() >= 0
+        assert assignments.max() < num_shards
+
+    def test_hash_is_deterministic(self, graph):
+        first = hash_partition(graph, 4)
+        second = hash_partition(graph, 4)
+        assert np.array_equal(first, second)
+
+    @pytest.mark.parametrize("num_shards", [2, 4, 8])
+    def test_hash_is_not_id_modulo(self, graph, num_shards):
+        # Power-of-two shard counts are where a naive (id * odd) % m hash
+        # degenerates to id % m; the high-bit hash must not.
+        assignments = hash_partition(graph, num_shards)
+        modulo = np.arange(graph.num_nodes) % num_shards
+        assert not np.array_equal(assignments, modulo)
+        # Still reasonably uniform: every shard gets a share.
+        counts = np.bincount(assignments, minlength=num_shards)
+        assert counts.min() > 0
+
+    def test_range_is_contiguous(self, graph):
+        assignments = range_partition(graph, 4)
+        # Node ids within a shard form one contiguous run.
+        assert np.all(np.diff(assignments) >= 0)
+        assert set(assignments.tolist()) == {0, 1, 2, 3}
+
+    def test_range_more_shards_than_nodes(self):
+        tiny = barabasi_albert_graph(5, 1, rng=0)
+        assignments = range_partition(tiny, 9)
+        assert assignments.shape == (5,)
+        assert assignments.max() < 9
+
+    def test_degree_balanced_balances_degree(self, graph):
+        num_shards = 3
+        assignments = degree_balanced_partition(graph, num_shards)
+        degrees = graph.degrees()
+        loads = [int(degrees[assignments == s].sum()) for s in range(num_shards)]
+        # Greedy LPT: no shard exceeds the mean load by more than the
+        # largest single degree.
+        assert max(loads) - min(loads) <= int(degrees.max())
+
+    def test_degree_balanced_deterministic(self, graph):
+        assert np.array_equal(
+            degree_balanced_partition(graph, 4), degree_balanced_partition(graph, 4)
+        )
+
+
+class TestPartitionGraph:
+    @pytest.mark.parametrize("strategy", sorted(PARTITIONERS))
+    def test_owned_sets_partition_the_node_set(self, graph, strategy):
+        partition = partition_graph(graph, 4, strategy=strategy)
+        owned_union = np.concatenate([shard.owned for shard in partition.shards])
+        assert np.array_equal(np.sort(owned_union), np.arange(graph.num_nodes))
+        for shard in partition.shards:
+            assert np.all(np.diff(shard.owned) > 0)  # sorted, unique
+
+    def test_shard_global_ids_sorted(self, graph):
+        partition = partition_graph(graph, 3, strategy="hash", halo_depth=2)
+        for shard in partition.shards:
+            ids = shard.subgraph.global_ids
+            assert np.all(np.diff(ids) > 0)
+
+    def test_halo_covers_every_ball(self, graph):
+        halo_depth = 2
+        partition = partition_graph(graph, 4, strategy="hash", halo_depth=halo_depth)
+        for shard in partition.shards:
+            for center in shard.owned[:: max(1, shard.owned.size // 5)]:
+                ball = bfs_levels(graph, int(center), halo_depth).nodes
+                for node in ball:
+                    assert shard.subgraph.contains_global(int(node))
+
+    def test_halo_zero_means_owned_only(self, graph):
+        partition = partition_graph(graph, 4, strategy="range", halo_depth=0)
+        for shard in partition.shards:
+            assert shard.num_halo == 0
+            assert np.array_equal(shard.subgraph.global_ids, shard.owned)
+
+    def test_single_shard_is_whole_graph(self, graph):
+        partition = partition_graph(graph, 1, strategy="hash", halo_depth=3)
+        (shard,) = partition.shards
+        assert shard.num_owned == graph.num_nodes
+        assert shard.num_halo == 0
+        assert shard.subgraph.num_edges == graph.num_edges
+        assert partition.replication_factor() == 1.0
+        assert partition.halo_overhead_bytes() == 0
+
+    def test_shard_membership_helpers(self, graph):
+        partition = partition_graph(graph, 3, strategy="hash")
+        for node in (0, 17, graph.num_nodes - 1):
+            shard = partition.shard_for(node)
+            assert shard.owns(node)
+            assert partition.shard_of(node) == shard.shard_id
+            others = [s for s in partition.shards if s.shard_id != shard.shard_id]
+            assert not any(other.owns(node) for other in others)
+
+    def test_deeper_halo_costs_more_bytes(self, graph):
+        shallow = partition_graph(graph, 4, strategy="hash", halo_depth=1)
+        deep = partition_graph(graph, 4, strategy="hash", halo_depth=3)
+        assert deep.halo_overhead_bytes() > shallow.halo_overhead_bytes()
+        assert deep.replication_factor() >= shallow.replication_factor()
+
+    def test_default_halo_depth(self, graph):
+        partition = partition_graph(graph, 2)
+        assert partition.halo_depth == DEFAULT_HALO_DEPTH
+        assert partition.covers_depth(DEFAULT_HALO_DEPTH)
+        assert not partition.covers_depth(DEFAULT_HALO_DEPTH + 1)
+
+    def test_as_dict_shape(self, graph):
+        partition = partition_graph(graph, 2, strategy="degree", halo_depth=2)
+        payload = partition.as_dict()
+        assert payload["strategy"] == "degree"
+        assert payload["num_shards"] == 2
+        assert payload["halo_depth"] == 2
+        assert len(payload["shards"]) == 2
+        for entry in payload["shards"]:
+            assert entry["num_owned"] >= 0
+            assert entry["halo_bytes"] >= 0
+            assert entry["nbytes"] > 0
+        assert payload["halo_overhead_bytes"] == sum(
+            entry["halo_bytes"] for entry in payload["shards"]
+        )
+        assert payload["replication_factor"] >= 1.0
+        assert payload["owned_balance"] >= 1.0
+
+    def test_invalid_arguments_rejected(self, graph):
+        with pytest.raises(ValueError):
+            partition_graph(graph, 0)
+        with pytest.raises(ValueError):
+            partition_graph(graph, 2, halo_depth=-1)
+        with pytest.raises(ValueError):
+            partition_graph(graph, 2, strategy="metis")
+
+    def test_partitioner_output_validated(self, graph, monkeypatch):
+        from repro.graph import partition as partition_module
+
+        monkeypatch.setitem(
+            partition_module.PARTITIONERS,
+            "broken",
+            lambda g, s: np.full(g.num_nodes, s, dtype=np.int64),
+        )
+        with pytest.raises(ValueError):
+            partition_graph(graph, 2, strategy="broken")

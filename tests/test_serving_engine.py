@@ -124,6 +124,54 @@ class TestSubmitDrain:
         assert QueryEngine(solver).solve_batch([]) == []
 
 
+class TestCloseWithPending:
+    """Regression: close() must not silently drop submitted queries."""
+
+    def test_submit_then_close_raises(self, solver, queries):
+        engine = QueryEngine(solver)
+        engine.submit(queries[0])
+        with pytest.raises(RuntimeError, match="pending"):
+            engine.close()
+        # The queue is intact: draining still answers the query.
+        results = engine.drain()
+        assert len(results) == 1
+        engine.close()
+
+    def test_close_after_drain_is_clean(self, solver, queries):
+        engine = QueryEngine(solver)
+        engine.submit(queries[0])
+        engine.drain()
+        engine.close()  # no pending queries left: must not raise
+
+    def test_explicit_discard_allows_close(self, solver, queries):
+        engine = QueryEngine(solver)
+        engine.submit(queries[0])
+        engine.close(discard_pending=True)
+        assert engine.num_pending == 0
+
+    def test_context_manager_surfaces_pending_queries(self, solver, queries):
+        backend = ThreadPoolBackend(2)
+        with pytest.raises(RuntimeError, match="pending"):
+            with QueryEngine(solver, backend=backend) as engine:
+                engine.solve_batch([queries[0]])  # spin the pool up
+                engine.submit(queries[1])
+                # exiting the block without drain() must not drop the query
+        # ...but the backend must still have been shut down (no thread leak).
+        assert backend._executor is None
+
+    def test_context_manager_does_not_mask_body_exception(self, solver, queries):
+        # An exception inside the block wins over the pending-queries error.
+        with pytest.raises(KeyError, match="boom"):
+            with QueryEngine(solver) as engine:
+                engine.submit(queries[0])
+                raise KeyError("boom")
+
+    def test_close_idempotent_when_empty(self, solver):
+        engine = QueryEngine(solver)
+        engine.close()
+        engine.close()
+
+
 class TestStats:
     def test_engine_stats_populated(self, solver, queries):
         cache = SubgraphCache()
