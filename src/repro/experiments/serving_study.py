@@ -22,7 +22,7 @@ from repro.meloppr.config import MeLoPPRConfig
 from repro.meloppr.selection import RatioSelector
 from repro.meloppr.solver import MeLoPPRSolver
 from repro.ppr.base import PPRQuery
-from repro.serving.backends import ExecutionBackend, SerialBackend, ThreadPoolBackend
+from repro.serving.backends import ExecutionBackend, make_backend
 from repro.serving.cache import SubgraphCache
 from repro.serving.engine import QueryEngine
 from repro.utils.rng import RngLike
@@ -137,17 +137,17 @@ def run_serving_study(
         )
 
     configurations = (
-        ("serial-cold", SerialBackend(), False),
-        ("serial-cached", SerialBackend(), True),
-        (f"threads{num_workers}-cold", ThreadPoolBackend(num_workers), False),
-        (f"threads{num_workers}-cached", ThreadPoolBackend(num_workers), True),
+        ("serial-cold", "serial", False),
+        ("serial-cached", "serial", True),
+        (f"threads{num_workers}-cold", f"thread:{num_workers}", False),
+        (f"threads{num_workers}-cached", f"thread:{num_workers}", True),
     )
 
     runs: List[ServingRun] = []
     reference_top_k: Optional[List[List[int]]] = None
     baseline_qps = 0.0
-    for label, backend, cached in configurations:
-        with make_engine(backend, cached) as engine:
+    for label, backend_spec, cached in configurations:
+        with make_engine(make_backend(backend_spec), cached) as engine:
             results = engine.solve_batch(queries)
             stats = engine.stats()
         top_k = [result.top_k_nodes() for result in results]

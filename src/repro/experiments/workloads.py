@@ -24,8 +24,11 @@ __all__ = [
     "PAPER_LENGTH",
     "PAPER_STAGE_SPLIT",
     "Workload",
+    "OpenLoopWorkload",
     "make_workload",
     "make_repeated_seed_workload",
+    "make_poisson_arrivals",
+    "make_open_loop_workload",
 ]
 
 #: k, L and the stage split fixed for all of the paper's experiments (Sec. VI).
@@ -148,3 +151,87 @@ def make_repeated_seed_workload(
     generator = ensure_rng(rng)
     order = generator.permutation(len(queries))
     return workload.graph, [queries[index] for index in order]
+
+
+@dataclass(frozen=True)
+class OpenLoopWorkload:
+    """An arrival-timed workload for online (latency-under-load) studies.
+
+    Unlike the closed-loop batches above, an open-loop source submits query
+    ``i`` at ``arrival_seconds[i]`` regardless of whether earlier queries
+    have finished — which is what makes overload (and admission control)
+    observable.  Arrival times are stored at **unit rate** (1 query/s on
+    average); :meth:`arrivals_at` rescales them to any offered rate so every
+    rate in a sweep replays the identical query sequence.
+    """
+
+    dataset: str
+    graph: CSRGraph
+    queries: Tuple[PPRQuery, ...]
+    arrival_seconds: Tuple[float, ...]
+
+    @property
+    def num_queries(self) -> int:
+        """Number of timed arrivals."""
+        return len(self.queries)
+
+    def arrivals_at(self, rate_qps: float) -> List[float]:
+        """The arrival times rescaled to ``rate_qps`` offered queries/second."""
+        if rate_qps <= 0:
+            raise ValueError(f"rate_qps must be > 0, got {rate_qps}")
+        return [time / rate_qps for time in self.arrival_seconds]
+
+
+def make_poisson_arrivals(
+    num_arrivals: int, rate_qps: float = 1.0, rng: RngLike = None
+) -> np.ndarray:
+    """Arrival times of a Poisson process: exponential gaps at ``rate_qps``.
+
+    The memoryless arrival process is the standard open-loop traffic model;
+    its bursts (several arrivals inside one mean gap) are exactly what
+    micro-batching exploits and admission control must survive.
+    """
+    if num_arrivals <= 0:
+        raise ValueError(f"num_arrivals must be > 0, got {num_arrivals}")
+    if rate_qps <= 0:
+        raise ValueError(f"rate_qps must be > 0, got {rate_qps}")
+    generator = ensure_rng(rng)
+    gaps = generator.exponential(scale=1.0 / rate_qps, size=num_arrivals)
+    return np.cumsum(gaps)
+
+
+def make_open_loop_workload(
+    dataset: str,
+    num_seeds: int,
+    num_arrivals: int,
+    k: int = PAPER_K,
+    rng: RngLike = None,
+    graph: Optional[CSRGraph] = None,
+) -> OpenLoopWorkload:
+    """Build a Poisson-timed hot-seed workload for the online serving studies.
+
+    Each arrival queries a seed drawn (with replacement) from a pool of
+    ``num_seeds`` hot seeds, so repeats occur the way production traffic
+    repeats — which gives the frontend's dedup and the engine's caches
+    something to work with.  Arrival times are unit-rate Poisson; rescale
+    with :meth:`OpenLoopWorkload.arrivals_at`.
+    """
+    workload = make_workload(
+        dataset,
+        num_seeds=num_seeds,
+        k=k,
+        length=PAPER_LENGTH,
+        alpha=PAPER_ALPHA,
+        rng=rng,
+        graph=graph,
+    )
+    generator = ensure_rng(rng)
+    picks = generator.integers(0, len(workload.queries), size=num_arrivals)
+    queries = tuple(workload.queries[int(pick)] for pick in picks)
+    arrivals = make_poisson_arrivals(num_arrivals, rate_qps=1.0, rng=generator)
+    return OpenLoopWorkload(
+        dataset=dataset,
+        graph=workload.graph,
+        queries=queries,
+        arrival_seconds=tuple(float(time) for time in arrivals),
+    )

@@ -5,20 +5,30 @@ traffic: it batches queries (:class:`QueryEngine`), reuses BFS extractions
 across them (:class:`SubgraphCache`), routes extractions to the shard owning
 them (:class:`ShardRouter` over a
 :class:`~repro.graph.partition.GraphPartition`, one cache per shard) and runs
-the per-query work on a pluggable :class:`ExecutionBackend` (serial or
-thread-pool today).  The algorithmic stage loop it drives lives in
-:mod:`repro.meloppr.planner`.
+the per-query work on a pluggable :class:`ExecutionBackend` (serial,
+thread-pool or asyncio; build one from a spec string with
+:func:`make_backend`).  The algorithmic stage loop it drives lives in
+:mod:`repro.meloppr.planner`; the online request path — micro-batching,
+admission control, the TCP/JSON service — lives in
+:mod:`repro.serving.frontend`.
 """
 
-from repro.serving.backends import ExecutionBackend, SerialBackend, ThreadPoolBackend
+from repro.serving.backends import (
+    ExecutionBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    make_backend,
+)
 from repro.serving.cache import DEFAULT_CACHE_BYTES, CacheStats, SubgraphCache
 from repro.serving.engine import EngineStats, QueryEngine
 from repro.serving.sharding import RouterStats, ShardRouter, ShardServingStats
+from repro.serving.telemetry import LatencyHistogram, LatencySnapshot
 
 __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ThreadPoolBackend",
+    "make_backend",
     "DEFAULT_CACHE_BYTES",
     "CacheStats",
     "SubgraphCache",
@@ -27,4 +37,6 @@ __all__ = [
     "RouterStats",
     "ShardRouter",
     "ShardServingStats",
+    "LatencyHistogram",
+    "LatencySnapshot",
 ]

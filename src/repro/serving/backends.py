@@ -12,17 +12,26 @@ ordering and concurrency.  Two backends ship today:
   threads overlap real work; results are still returned in submission order
   and are deterministic because every query's computation is independent.
 
-Later PRs can add process-pool, async and modelled-FPGA backends behind the
-same two-method interface (see ROADMAP open items).
+A third backend, :class:`~repro.serving.frontend.AsyncBackend`, runs jobs on
+an asyncio event loop (see :mod:`repro.serving.frontend`); benchmarks, the
+server CLI and user code construct any of them from a compact spec string via
+:func:`make_backend` (``"serial"``, ``"thread:8"``, ``"async:4"``).  Later
+PRs can add process-pool and modelled-FPGA backends behind the same
+two-method interface (see ROADMAP open items).
 """
 
 from __future__ import annotations
 
 import abc
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, TypeVar, Union
 
-__all__ = ["ExecutionBackend", "SerialBackend", "ThreadPoolBackend"]
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "make_backend",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -116,3 +125,51 @@ class ThreadPoolBackend(ExecutionBackend):
     def __repr__(self) -> str:
         workers = "default" if self._max_workers is None else self._max_workers
         return f"ThreadPoolBackend(max_workers={workers})"
+
+
+def make_backend(spec: Union[str, ExecutionBackend, None]) -> ExecutionBackend:
+    """Build an execution backend from a compact spec string.
+
+    Accepted specs (case-insensitive; the ``:N`` suffix is optional):
+
+    ======================  ====================================================
+    ``"serial"``            :class:`SerialBackend`
+    ``"thread"``/``:N``     :class:`ThreadPoolBackend` (``N`` workers)
+    ``"async"``/``:N``      :class:`~repro.serving.frontend.AsyncBackend`
+                            (``N``-thread event-loop offload pool)
+    ======================  ====================================================
+
+    ``None`` means :class:`SerialBackend`, and an :class:`ExecutionBackend`
+    instance passes through unchanged, so CLI flags and library call sites can
+    share one code path.
+    """
+    if spec is None:
+        return SerialBackend()
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    name, separator, argument = spec.strip().lower().partition(":")
+    workers: Optional[int] = None
+    if separator:
+        try:
+            workers = int(argument)
+        except ValueError:
+            raise ValueError(
+                f"backend spec {spec!r} has a non-integer worker count "
+                f"{argument!r}"
+            ) from None
+    if name == "serial":
+        if workers is not None:
+            raise ValueError(f"the serial backend takes no worker count ({spec!r})")
+        return SerialBackend()
+    if name in ("thread", "threads", "thread-pool"):
+        return ThreadPoolBackend(max_workers=workers)
+    if name == "async":
+        # Imported lazily: the frontend package imports the engine, which
+        # imports this module.
+        from repro.serving.frontend.async_backend import AsyncBackend
+
+        return AsyncBackend(max_concurrency=workers)
+    raise ValueError(
+        f"unknown backend spec {spec!r}; expected 'serial', 'thread[:N]' "
+        "or 'async[:N]'"
+    )

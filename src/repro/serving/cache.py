@@ -250,6 +250,19 @@ class SubgraphCache:
                     f"{self._max_bytes}"
                 )
 
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction/rejection counters (entries are kept).
+
+        ``current_bytes`` and ``num_entries`` describe live state, not
+        history, so they are unaffected; used for per-interval reporting on
+        long-running servers.
+        """
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+            self._rejected = 0
+
     def clear(self) -> None:
         """Drop every entry and the graph binding (counters are kept)."""
         with self._lock:

@@ -42,6 +42,7 @@ from repro.ppr.base import PPRQuery, PPRResult, PPRSolver
 from repro.serving.backends import ExecutionBackend, SerialBackend
 from repro.serving.cache import CacheStats, SubgraphCache
 from repro.serving.sharding import RouterStats, ShardRouter
+from repro.serving.telemetry import LatencyHistogram, LatencySnapshot
 
 __all__ = ["EngineStats", "QueryEngine"]
 
@@ -64,8 +65,16 @@ class EngineStats:
         ``wall_seconds``, and their ratio is the effective parallelism.
     min_latency_seconds, max_latency_seconds:
         Extremes of the per-query latencies.
+    latency:
+        Bucketed per-query latency percentiles (p50/p95/p99); ``None`` only
+        on the engine's internal accumulator, never in :meth:`QueryEngine.stats`
+        snapshots.
     cache:
-        Snapshot of the sub-graph cache counters (``None`` without a cache).
+        Snapshot of the sub-graph cache counters.  Uniform across serving
+        modes: with an engine-level cache these are its counters, and with a
+        router they are the aggregate over the per-shard and fallback caches,
+        so dashboards can read ``stats.cache.hit_rate`` either way.  ``None``
+        only when caching is off entirely.
     router:
         Snapshot of the shard-routing counters (``None`` when unsharded).
     """
@@ -77,6 +86,7 @@ class EngineStats:
     query_seconds: float = 0.0
     min_latency_seconds: float = field(default=float("inf"))
     max_latency_seconds: float = 0.0
+    latency: Optional[LatencySnapshot] = None
     cache: Optional[CacheStats] = None
     router: Optional[RouterStats] = None
 
@@ -94,6 +104,23 @@ class EngineStats:
             return 0.0
         return self.query_seconds / self.queries_served
 
+    def reset(self) -> None:
+        """Zero the accumulated counters (for per-interval reporting).
+
+        A long-running server calls :meth:`QueryEngine.reset_stats` at each
+        reporting interval instead of recreating the engine; that resets this
+        accumulator and the engine's latency histogram together.
+        """
+        self.queries_served = 0
+        self.batches = 0
+        self.wall_seconds = 0.0
+        self.query_seconds = 0.0
+        self.min_latency_seconds = float("inf")
+        self.max_latency_seconds = 0.0
+        self.latency = None
+        self.cache = None
+        self.router = None
+
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict form for JSON reports."""
         return {
@@ -108,6 +135,7 @@ class EngineStats:
                 0.0 if self.queries_served == 0 else self.min_latency_seconds
             ),
             "max_latency_seconds": self.max_latency_seconds,
+            "latency": None if self.latency is None else self.latency.as_dict(),
             "cache": None if self.cache is None else self.cache.as_dict(),
             "router": None if self.router is None else self.router.as_dict(),
         }
@@ -164,6 +192,7 @@ class QueryEngine:
         self._router = router
         self._pending: List[PPRQuery] = []
         self._stats = EngineStats(backend=self._backend.name)
+        self._latency = LatencyHistogram()
 
     # ------------------------------------------------------------------
     @property
@@ -222,6 +251,7 @@ class QueryEngine:
             stats.query_seconds += latency
             stats.min_latency_seconds = min(stats.min_latency_seconds, latency)
             stats.max_latency_seconds = max(stats.max_latency_seconds, latency)
+            self._latency.record(latency)
         return results
 
     def _solve_one(self, query: PPRQuery) -> PPRResult:
@@ -259,8 +289,20 @@ class QueryEngine:
 
     # ------------------------------------------------------------------
     def stats(self) -> EngineStats:
-        """Aggregate stats snapshot (includes current cache counters)."""
+        """Aggregate stats snapshot (includes current cache counters).
+
+        The ``cache`` field is uniform across serving modes: it carries the
+        engine-level cache's counters when one is configured, and the
+        router's aggregated per-shard + fallback counters when sharded.
+        """
         stats = self._stats
+        router_stats = None if self._router is None else self._router.stats()
+        if self._cache is not None:
+            cache_stats: Optional[CacheStats] = self._cache.stats
+        elif router_stats is not None:
+            cache_stats = router_stats.aggregate_cache()
+        else:
+            cache_stats = None
         return EngineStats(
             backend=stats.backend,
             queries_served=stats.queries_served,
@@ -269,9 +311,26 @@ class QueryEngine:
             query_seconds=stats.query_seconds,
             min_latency_seconds=stats.min_latency_seconds,
             max_latency_seconds=stats.max_latency_seconds,
-            cache=None if self._cache is None else self._cache.stats,
-            router=None if self._router is None else self._router.stats(),
+            latency=self._latency.snapshot(),
+            cache=cache_stats,
+            router=router_stats,
         )
+
+    def reset_stats(self, reset_cache_stats: bool = False) -> None:
+        """Zero the serving counters (for per-interval server metrics).
+
+        Cache contents are never touched — only counters reset.  By default
+        the cache/router counters keep accumulating (their hit rates describe
+        the cache's whole life); pass ``reset_cache_stats=True`` to zero them
+        too so every interval reports interval-local hit rates.
+        """
+        self._stats.reset()
+        self._latency.reset()
+        if reset_cache_stats:
+            if self._cache is not None:
+                self._cache.reset_stats()
+            if self._router is not None:
+                self._router.reset_stats()
 
     def close(self, discard_pending: bool = False) -> None:
         """Shut down the backend (the cache, if any, is left warm).

@@ -1,0 +1,45 @@
+"""The async serving frontend: the request path on top of the compute path.
+
+PR 1/2 built the compute path — a batched :class:`~repro.serving.engine.QueryEngine`
+with pluggable backends, sub-graph caches and shard routing.  This package is
+the request-facing layer that turns a stream of individual online queries
+into the well-formed batches that engine is optimised for:
+
+* :class:`AsyncBackend` — an :class:`~repro.serving.backends.ExecutionBackend`
+  running jobs on an asyncio event loop (bounded thread-pool offload,
+  submission-order results, bit-identical scores).
+* :class:`MicroBatcher` — coalesces ``await submit(query)`` calls into engine
+  batches under a :class:`BatchPolicy`, deduplicates identical in-flight
+  queries, and enforces per-query deadlines.
+* :class:`AdmissionController` — a bounded in-flight queue with explicit
+  shedding (:class:`QueryShedError`) and p50/p95/p99 latency telemetry.
+* :class:`AsyncQueryServer` / :class:`AsyncClient` — a minimal TCP service
+  speaking newline-delimited JSON, with protocol-level shed/deadline answers.
+"""
+
+from repro.serving.frontend.admission import (
+    AdmissionController,
+    AdmissionStats,
+    DeadlineExceededError,
+    QueryRejectedError,
+    QueryShedError,
+)
+from repro.serving.frontend.async_backend import AsyncBackend
+from repro.serving.frontend.batcher import BatcherStats, BatchPolicy, MicroBatcher
+from repro.serving.frontend.client import AsyncClient, ServerError
+from repro.serving.frontend.server import AsyncQueryServer
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "AsyncBackend",
+    "AsyncClient",
+    "AsyncQueryServer",
+    "BatchPolicy",
+    "BatcherStats",
+    "DeadlineExceededError",
+    "MicroBatcher",
+    "QueryRejectedError",
+    "QueryShedError",
+    "ServerError",
+]

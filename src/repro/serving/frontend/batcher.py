@@ -1,0 +1,426 @@
+"""Micro-batching scheduler: individual async submissions → engine batches.
+
+The engine layer (:class:`~repro.serving.engine.QueryEngine`) is optimised
+for batches — backend fan-out, warm sub-graph caches, shard routing — but an
+online front door receives queries one at a time.  :class:`MicroBatcher`
+bridges the two: callers ``await submit(query)`` individually, and a
+scheduler coroutine coalesces submissions into engine batches under a
+:class:`BatchPolicy` (close a batch at ``max_batch_size`` queries, or
+``max_wait_ms`` after its first query arrived, whichever comes first).
+
+Three serving behaviours live here and not in the engine:
+
+* **Deduplication** — identical in-flight queries (same frozen
+  :class:`~repro.ppr.base.PPRQuery`, i.e. the same ``(seed, k, alpha,
+  length)`` against the engine's fixed solver config) are computed once per
+  batch and the single result fans out to every waiter.
+* **Deadlines** — ``submit(query, timeout_ms=...)`` bounds the end-to-end
+  wait; queries whose deadline passes while queued (or while their batch
+  computed) fail with :class:`DeadlineExceededError` instead of returning a
+  stale answer.
+* **Admission control** — every submission passes the
+  :class:`~repro.serving.frontend.admission.AdmissionController` first, so
+  overload sheds loudly (:class:`QueryShedError`) instead of queueing
+  unboundedly.
+
+Scores are bit-identical to ``engine.solve_batch`` on a serial backend:
+batching composition never changes per-query computations (they are
+independent), and deduplicated waiters share the one result object their
+query produced.  Batches execute one at a time, in arrival order, on an
+executor thread so the event loop stays responsive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.ppr.base import PPRQuery, PPRResult
+from repro.serving.engine import EngineStats, QueryEngine
+from repro.serving.frontend.admission import (
+    AdmissionController,
+    AdmissionStats,
+    DeadlineExceededError,
+)
+
+__all__ = ["BatchPolicy", "BatcherStats", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """How submissions coalesce into engine batches.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Close the batch once this many queries are waiting (1 disables
+        coalescing: every query runs alone).
+    max_wait_ms:
+        Close the batch this long after its *first* query arrived even if it
+        is not full (0 batches only what is already queued, adding no
+        latency).
+    dedup:
+        Whether identical in-flight queries share one computation.
+    """
+
+    max_batch_size: int = 8
+    max_wait_ms: float = 2.0
+    dedup: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ValueError(
+                f"max_batch_size must be > 0, got {self.max_batch_size}"
+            )
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+
+    @property
+    def label(self) -> str:
+        """Compact form for tables and run labels (e.g. ``b8w2.0``)."""
+        dedup = "" if self.dedup else "-nodedup"
+        return f"b{self.max_batch_size}w{self.max_wait_ms:g}{dedup}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON reports."""
+        return {
+            "max_batch_size": self.max_batch_size,
+            "max_wait_ms": self.max_wait_ms,
+            "dedup": self.dedup,
+        }
+
+
+@dataclass(frozen=True)
+class BatcherStats:
+    """Scheduler counters plus the nested admission and engine stats.
+
+    Attributes
+    ----------
+    policy:
+        The active batching policy.
+    batches:
+        Engine batches executed.
+    batched_queries:
+        Logical queries delivered through those batches (before dedup).
+    unique_executed:
+        Queries actually handed to the engine (after dedup).
+    dedup_hits:
+        Waiters served by another waiter's computation.
+    admission:
+        The admission controller's counters (shed rate, e2e latency
+        percentiles).
+    engine:
+        The wrapped engine's counters (compute latency percentiles, cache).
+    """
+
+    policy: BatchPolicy
+    batches: int
+    batched_queries: int
+    unique_executed: int
+    dedup_hits: int
+    admission: AdmissionStats
+    engine: EngineStats
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean logical queries per executed batch (0.0 before any batch)."""
+        return self.batched_queries / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON reports."""
+        return {
+            "policy": self.policy.as_dict(),
+            "batches": self.batches,
+            "batched_queries": self.batched_queries,
+            "unique_executed": self.unique_executed,
+            "dedup_hits": self.dedup_hits,
+            "mean_batch_size": self.mean_batch_size,
+            "admission": self.admission.as_dict(),
+            "engine": self.engine.as_dict(),
+        }
+
+
+class _Waiter:
+    """One awaited submission: its query, future, deadline and arrival time."""
+
+    __slots__ = ("query", "future", "deadline", "enqueued_at")
+
+    def __init__(
+        self,
+        query: PPRQuery,
+        future: "asyncio.Future[PPRResult]",
+        deadline: Optional[float],
+        enqueued_at: float,
+    ) -> None:
+        self.query = query
+        self.future = future
+        self.deadline = deadline
+        self.enqueued_at = enqueued_at
+
+
+_STOP = object()
+
+
+class MicroBatcher:
+    """Coalesce individually submitted queries into engine batches.
+
+    Parameters
+    ----------
+    engine:
+        The batch-serving engine answering the coalesced batches.  The
+        batcher owns scheduling only; close the engine separately (it may be
+        shared with offline callers).
+    policy:
+        Batching policy; defaults to :class:`BatchPolicy`'s defaults.
+    admission:
+        Admission controller bounding in-flight queries; a private
+        default-capacity controller is created when not given.
+
+    Notes
+    -----
+    The batcher lives on one asyncio event loop: :meth:`start` captures the
+    running loop, and :meth:`submit` must be awaited on it.  Use it as an
+    async context manager::
+
+        async with MicroBatcher(engine, BatchPolicy(8, 2.0)) as batcher:
+            result = await batcher.submit(PPRQuery(seed=3, k=50))
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        policy: Optional[BatchPolicy] = None,
+        admission: Optional[AdmissionController] = None,
+    ) -> None:
+        self._engine = engine
+        self._policy = policy if policy is not None else BatchPolicy()
+        self._admission = (
+            admission if admission is not None else AdmissionController()
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._items: Deque[object] = deque()
+        self._arrival: Optional[asyncio.Event] = None
+        self._scheduler: Optional["asyncio.Task[None]"] = None
+        self._closing = False
+        self._batches = 0
+        self._batched_queries = 0
+        self._unique_executed = 0
+        self._dedup_hits = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> QueryEngine:
+        """The wrapped engine."""
+        return self._engine
+
+    @property
+    def policy(self) -> BatchPolicy:
+        """The active batching policy."""
+        return self._policy
+
+    @property
+    def admission(self) -> AdmissionController:
+        """The admission controller consulted on every submission."""
+        return self._admission
+
+    @property
+    def running(self) -> bool:
+        """Whether the scheduler is accepting submissions."""
+        return self._scheduler is not None and not self._closing
+
+    @property
+    def queue_depth(self) -> int:
+        """Waiters queued but not yet batched (bounded by admission)."""
+        return len(self._items)
+
+    # ------------------------------------------------------------------
+    async def start(self) -> "MicroBatcher":
+        """Start the scheduler on the running event loop."""
+        if self._scheduler is not None:
+            raise RuntimeError("batcher is already started")
+        self._loop = asyncio.get_running_loop()
+        self._arrival = asyncio.Event()
+        self._closing = False
+        self._scheduler = self._loop.create_task(self._run_scheduler())
+        return self
+
+    async def stop(self) -> None:
+        """Drain queued submissions, then stop the scheduler (idempotent)."""
+        if self._scheduler is None:
+            return
+        self._closing = True
+        self._push(_STOP)
+        try:
+            await self._scheduler
+        finally:
+            self._scheduler = None
+            self._loop = None
+            self._arrival = None
+
+    async def __aenter__(self) -> "MicroBatcher":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, traceback) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    async def submit(
+        self, query: PPRQuery, timeout_ms: Optional[float] = None
+    ) -> PPRResult:
+        """Submit one query; resolves when its batch completes.
+
+        Raises
+        ------
+        QueryShedError
+            The admission queue is full (explicit backpressure).
+        DeadlineExceededError
+            ``timeout_ms`` elapsed before the result could be delivered.
+        RuntimeError
+            The batcher is not running.
+        """
+        if self._scheduler is None or self._closing:
+            raise RuntimeError("batcher is not running; use 'async with' or start()")
+        loop = asyncio.get_running_loop()
+        if loop is not self._loop:
+            raise RuntimeError("submit() must run on the batcher's event loop")
+        self._admission.admit()
+        now = loop.time()
+        deadline = now + timeout_ms / 1000.0 if timeout_ms is not None else None
+        waiter = _Waiter(query, loop.create_future(), deadline, now)
+        self._push(waiter)
+        return await waiter.future
+
+    def _push(self, item: object) -> None:
+        self._items.append(item)
+        assert self._arrival is not None
+        self._arrival.set()
+
+    # ------------------------------------------------------------------
+    async def _run_scheduler(self) -> None:
+        policy = self._policy
+        assert self._loop is not None and self._arrival is not None
+        loop, arrival, items = self._loop, self._arrival, self._items
+        while True:
+            # Wait for the batch's first waiter.
+            while not items:
+                arrival.clear()
+                await arrival.wait()
+            first = items.popleft()
+            if first is _STOP:
+                break
+            batch: List[_Waiter] = [first]
+            stop_after = False
+            # Collect until the batch is full or max_wait_ms has passed since
+            # the first waiter *arrived* (not since it was popped): a query
+            # that already waited out its window behind a busy engine closes
+            # its batch with whatever else is queued, paying no second wait.
+            close_at = first.enqueued_at + policy.max_wait_ms / 1000.0
+            while len(batch) < policy.max_batch_size:
+                if items:
+                    item = items.popleft()
+                    if item is _STOP:
+                        stop_after = True
+                        break
+                    batch.append(item)
+                    continue
+                remaining = close_at - loop.time()
+                if remaining <= 0:
+                    break
+                arrival.clear()
+                try:
+                    await asyncio.wait_for(arrival.wait(), timeout=remaining)
+                except asyncio.TimeoutError:
+                    break
+            await self._execute_batch(batch)
+            if stop_after:
+                break
+
+    async def _execute_batch(self, batch: List[_Waiter]) -> None:
+        assert self._loop is not None
+        loop = self._loop
+        now = loop.time()
+        # Weed out cancelled and already-expired waiters, then group the rest
+        # (dedup: one group per distinct query, in first-arrival order).
+        groups: List[Tuple[PPRQuery, List[_Waiter]]] = []
+        index: Dict[PPRQuery, int] = {}
+        for waiter in batch:
+            if waiter.future.done():  # caller gave up while queued
+                self._admission.cancel()
+                continue
+            if waiter.deadline is not None and now > waiter.deadline:
+                waiter.future.set_exception(
+                    DeadlineExceededError(
+                        f"deadline passed {now - waiter.deadline:.3f}s before "
+                        "the query was scheduled"
+                    )
+                )
+                self._admission.expire()
+                continue
+            if self._policy.dedup and waiter.query in index:
+                groups[index[waiter.query]][1].append(waiter)
+            else:
+                if self._policy.dedup:
+                    index[waiter.query] = len(groups)
+                groups.append((waiter.query, [waiter]))
+        if not groups:
+            return
+
+        unique = [query for query, _ in groups]
+        try:
+            # Off the loop: solve_batch is CPU-bound (its own backend decides
+            # the intra-batch concurrency).
+            results = await loop.run_in_executor(
+                None, self._engine.solve_batch, unique
+            )
+        except Exception as exc:
+            for _, waiters in groups:
+                for waiter in waiters:
+                    if waiter.future.done():
+                        self._admission.cancel()
+                        continue
+                    waiter.future.set_exception(exc)
+                    self._admission.fail()
+            return
+
+        end = loop.time()
+        self._batches += 1
+        self._unique_executed += len(unique)
+        for (_, waiters), result in zip(groups, results):
+            self._batched_queries += len(waiters)
+            self._dedup_hits += len(waiters) - 1
+            for waiter in waiters:
+                if waiter.future.done():  # cancelled while computing
+                    self._admission.cancel()
+                    continue
+                if waiter.deadline is not None and end > waiter.deadline:
+                    waiter.future.set_exception(
+                        DeadlineExceededError(
+                            f"deadline passed {end - waiter.deadline:.3f}s "
+                            "before the batch completed"
+                        )
+                    )
+                    self._admission.expire()
+                    continue
+                waiter.future.set_result(result)
+                self._admission.complete(end - waiter.enqueued_at)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> BatcherStats:
+        """Scheduler, admission and engine counters in one snapshot."""
+        return BatcherStats(
+            policy=self._policy,
+            batches=self._batches,
+            batched_queries=self._batched_queries,
+            unique_executed=self._unique_executed,
+            dedup_hits=self._dedup_hits,
+            admission=self._admission.stats(),
+            engine=self._engine.stats(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MicroBatcher(policy={self._policy!r}, "
+            f"running={self.running}, queue_depth={self.queue_depth})"
+        )

@@ -1,0 +1,175 @@
+"""Asyncio client for the newline-delimited JSON query service.
+
+:class:`AsyncClient` matches :class:`~repro.serving.frontend.server.AsyncQueryServer`'s
+protocol: it assigns every request an ``id``, pipelines requests without
+waiting for earlier answers, and routes each response line back to its
+awaiting caller.  :meth:`query` returns the decoded response dict;
+:meth:`solve` additionally raises the protocol's rejections as the same
+exceptions the in-process frontend uses
+(:class:`~repro.serving.frontend.admission.QueryShedError`,
+:class:`~repro.serving.frontend.admission.DeadlineExceededError`), so code
+can move between in-process and over-the-wire serving unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.serving.frontend.admission import (
+    DeadlineExceededError,
+    QueryShedError,
+)
+
+__all__ = ["ServerError", "AsyncClient"]
+
+
+class ServerError(RuntimeError):
+    """The server answered ``ok: false`` with a non-rejection error."""
+
+    def __init__(self, error: str, message: str) -> None:
+        super().__init__(f"{error}: {message}")
+        self.error = error
+        self.message = message
+
+
+class AsyncClient:
+    """A pipelining JSON-lines client; create via :meth:`connect`.
+
+    Example
+    -------
+    ::
+
+        client = await AsyncClient.connect(host, port)
+        try:
+            top = await client.solve(seed=42, k=100)
+        finally:
+            await client.close()
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, "asyncio.Future[dict]"] = {}
+        self._reader_task = asyncio.ensure_future(self._read_responses())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncClient":
+        """Open a connection to a running server."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    # ------------------------------------------------------------------
+    async def _read_responses(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = json.loads(line)
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionError, OSError, json.JSONDecodeError):
+            pass
+        finally:
+            self._fail_pending(ConnectionError("server closed the connection"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    async def request(self, payload: dict) -> dict:
+        """Send one request object and await its matching response."""
+        if self._writer.is_closing():
+            raise ConnectionError("client is closed")
+        request_id = next(self._ids)
+        payload = dict(payload, id=request_id)
+        future: "asyncio.Future[dict]" = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await self._writer.drain()
+        return await future
+
+    async def query(
+        self,
+        seed: int,
+        k: int = 200,
+        alpha: float = 0.85,
+        length: int = 6,
+        timeout_ms: Optional[float] = None,
+    ) -> dict:
+        """Issue a PPR query; returns the raw response dict (check ``ok``)."""
+        payload: dict = {
+            "op": "query",
+            "seed": seed,
+            "k": k,
+            "alpha": alpha,
+            "length": length,
+        }
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        return await self.request(payload)
+
+    async def solve(
+        self,
+        seed: int,
+        k: int = 200,
+        alpha: float = 0.85,
+        length: int = 6,
+        timeout_ms: Optional[float] = None,
+    ) -> List[Tuple[int, float]]:
+        """Issue a query and return its top-k pairs, raising on rejection."""
+        response = await self.query(seed, k, alpha, length, timeout_ms)
+        if response.get("ok"):
+            return [(int(node), float(score)) for node, score in response["top"]]
+        error = response.get("error", "unknown")
+        message = response.get("message", "")
+        if error == "shed":
+            raise QueryShedError(message=message or "query shed by server")
+        if error == "deadline":
+            raise DeadlineExceededError(message)
+        raise ServerError(error, message)
+
+    async def ping(self) -> bool:
+        """Round-trip health check."""
+        response = await self.request({"op": "ping"})
+        return bool(response.get("ok"))
+
+    async def stats(self) -> dict:
+        """Fetch the server's frontend stats document."""
+        response = await self.request({"op": "stats"})
+        if not response.get("ok"):
+            raise ServerError(
+                response.get("error", "unknown"), response.get("message", "")
+            )
+        return response["stats"]
+
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        """Close the connection and fail any unanswered requests."""
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._fail_pending(ConnectionError("client closed"))
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, traceback) -> None:
+        await self.close()

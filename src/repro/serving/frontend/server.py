@@ -1,0 +1,383 @@
+"""A minimal asyncio TCP query service speaking newline-delimited JSON.
+
+One request per line, one JSON object per response line.  Requests either
+carry an ``op`` (``"ping"``, ``"stats"``) or describe a PPR query::
+
+    {"id": 7, "seed": 42, "k": 100, "alpha": 0.85, "length": 6,
+     "timeout_ms": 250}
+
+``id`` is echoed verbatim so clients can pipeline.  Query responses carry the
+top-k scores; rejections are explicit protocol answers, not dropped
+connections::
+
+    {"id": 7, "ok": true,  "top": [[12, 0.31], ...], "latency_ms": 3.1}
+    {"id": 8, "ok": false, "error": "shed", "message": "..."}        # overload
+    {"id": 9, "ok": false, "error": "deadline", "message": "..."}    # too slow
+    {"id": 0, "ok": false, "error": "bad_request", "message": "..."}
+
+Each connection's requests are handled concurrently (a task per line), so
+queries from one pipelining client — and from many clients — coalesce in the
+shared :class:`~repro.serving.frontend.batcher.MicroBatcher`.
+
+Run a server from the command line (spec strings via
+:func:`~repro.serving.backends.make_backend`)::
+
+    PYTHONPATH=src python -m repro.serving.frontend.server \
+        --dataset G1 --port 7071 --backend thread:4 --max-batch 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+from typing import List, Optional, Set, Tuple
+
+from repro.ppr.base import PPRQuery
+from repro.serving.frontend.admission import (
+    AdmissionController,
+    QueryRejectedError,
+)
+from repro.serving.frontend.batcher import BatchPolicy, MicroBatcher
+from repro.utils.validation import check_node_id
+
+__all__ = ["AsyncQueryServer", "main"]
+
+
+def _require_int(value: object, name: str) -> int:
+    """A strict JSON-integer check (booleans and floats are bad requests)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{name} must be a JSON integer, got {value!r}")
+    return value
+
+
+def _require_number(value: object, name: str) -> float:
+    """A strict JSON-number check (booleans are bad requests)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"{name} must be a JSON number, got {value!r}")
+    return value
+
+
+class AsyncQueryServer:
+    """Serve a :class:`MicroBatcher` over TCP with a JSON-lines protocol.
+
+    Parameters
+    ----------
+    batcher:
+        The started (or about-to-be-started) micro-batcher answering queries.
+    host, port:
+        Bind address; port 0 picks a free port (read it from :meth:`start`'s
+        return value).
+    max_pipelined:
+        Bound on in-flight requests *per connection*.  Past it, the read
+        loop stops consuming lines until responses flush — so a client that
+        pipelines without reading its socket exerts TCP backpressure instead
+        of growing the server's task set and response buffers without limit
+        (admission control bounds engine work, this bounds connection
+        memory).
+    """
+
+    def __init__(
+        self,
+        batcher: MicroBatcher,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_pipelined: int = 128,
+    ) -> None:
+        if max_pipelined <= 0:
+            raise ValueError(f"max_pipelined must be > 0, got {max_pipelined}")
+        self._batcher = batcher
+        self._host = host
+        self._port = port
+        self._max_pipelined = max_pipelined
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def batcher(self) -> MicroBatcher:
+        """The micro-batcher answering this server's queries."""
+        return self._batcher
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting connections; returns the bound address."""
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        """Stop accepting connections and close the listener (idempotent)."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def serve_forever(self) -> None:
+        """Block serving until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    async def __aenter__(self) -> "AsyncQueryServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, traceback) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        slots = asyncio.Semaphore(self._max_pipelined)
+        tasks: Set["asyncio.Task[None]"] = set()
+
+        def release_slot(task: "asyncio.Task[None]") -> None:
+            tasks.discard(task)
+            slots.release()
+
+        try:
+            while True:
+                # Backpressure: with max_pipelined responses in flight (e.g.
+                # a client writing but never reading its socket), stop
+                # consuming lines until a slot frees.
+                await slots.acquire()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # The line overran the stream's buffer limit; the stream
+                    # cannot be resynchronised, so answer explicitly and end
+                    # the connection (after the drain in ``finally`` flushes
+                    # any earlier pipelined responses).
+                    slots.release()
+                    await self._write_response(
+                        writer,
+                        write_lock,
+                        {
+                            "id": None,
+                            "ok": False,
+                            "error": "bad_request",
+                            "message": "request line exceeds the stream limit",
+                        },
+                    )
+                    break
+                if not line:
+                    slots.release()
+                    break
+                # A task per request: queries across lines (and clients)
+                # overlap, which is what feeds the micro-batcher.
+                task = asyncio.ensure_future(
+                    self._handle_line(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(release_slot)
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        await self._write_response(writer, write_lock, await self._answer(line))
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        response: dict,
+    ) -> None:
+        payload = json.dumps(response).encode("utf-8") + b"\n"
+        async with write_lock:
+            try:
+                writer.write(payload)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; nothing to deliver the answer to
+
+    async def _answer(self, line: bytes) -> dict:
+        request_id = None
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            request_id = request.get("id")
+            op = request.get("op", "query")
+            if op == "ping":
+                return {"id": request_id, "ok": True, "op": "ping"}
+            if op == "stats":
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "op": "stats",
+                    "stats": self._batcher.stats().as_dict(),
+                }
+            if op != "query":
+                raise ValueError(f"unknown op {op!r}")
+            query = self._parse_query(request)
+            timeout_ms = request.get("timeout_ms")
+            if timeout_ms is not None:
+                timeout_ms = float(_require_number(timeout_ms, "timeout_ms"))
+                if timeout_ms <= 0:
+                    raise ValueError(f"timeout_ms must be > 0, got {timeout_ms}")
+        except (ValueError, TypeError, KeyError) as exc:
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": "bad_request",
+                "message": str(exc),
+            }
+
+        loop = asyncio.get_running_loop()
+        received = loop.time()
+        try:
+            result = await self._batcher.submit(query, timeout_ms=timeout_ms)
+        except QueryRejectedError as exc:
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": exc.code,
+                "message": str(exc),
+            }
+        except Exception as exc:  # engine failure: report, keep serving
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": "internal",
+                "message": f"{type(exc).__name__}: {exc}",
+            }
+        return {
+            "id": request_id,
+            "ok": True,
+            "seed": query.seed,
+            "k": query.k,
+            "top": [[int(node), float(score)] for node, score in result.top_k()],
+            "latency_ms": (loop.time() - received) * 1e3,
+        }
+
+    def _parse_query(self, request: dict) -> PPRQuery:
+        """Validate and build the query (bad fields must not poison a batch).
+
+        Integer fields are validated strictly — ``42.9`` is a bad request,
+        not a silent truncation to seed 42, and JSON booleans are rejected
+        (``check_node_id`` would refuse them anyway; ``_require_int`` keeps
+        ``k``/``length`` to the same standard).
+        """
+        if "seed" not in request:
+            raise ValueError("query request must carry a 'seed'")
+        seed = check_node_id(
+            _require_int(request["seed"], "seed"),
+            self._batcher.engine.solver.graph.num_nodes,
+            "seed",
+        )
+        return PPRQuery(
+            seed=seed,
+            k=_require_int(request.get("k", 200), "k"),
+            alpha=float(_require_number(request.get("alpha", 0.85), "alpha")),
+            length=_require_int(request.get("length", 6), "length"),
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The server CLI's argument parser."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="G1", help="dataset key to serve")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7071)
+    parser.add_argument(
+        "--backend",
+        default="async:4",
+        help="engine backend spec: serial, thread[:N] or async[:N]",
+    )
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument(
+        "--no-dedup", action="store_true", help="disable in-flight dedup"
+    )
+    parser.add_argument(
+        "--max-pending", type=int, default=256, help="admission bound"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the sub-graph cache"
+    )
+    return parser
+
+
+def build_frontend(args: argparse.Namespace):
+    """Construct the (engine, policy, admission) triple the CLI serves."""
+    # Imported here, not at module top: the frontend package must stay
+    # importable without pulling the dataset/solver layers in.
+    from repro.graph.datasets import load_dataset
+    from repro.meloppr.solver import MeLoPPRSolver
+    from repro.serving.backends import make_backend
+    from repro.serving.cache import SubgraphCache
+    from repro.serving.engine import QueryEngine
+
+    graph = load_dataset(args.dataset)
+    engine = QueryEngine(
+        MeLoPPRSolver(graph),
+        backend=make_backend(args.backend),
+        cache=None if args.no_cache else SubgraphCache(),
+    )
+    policy = BatchPolicy(
+        max_batch_size=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        dedup=not args.no_dedup,
+    )
+    admission = AdmissionController(max_pending=args.max_pending)
+    return engine, policy, admission
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - blocks serving
+    """Command-line entry point: serve a dataset until interrupted."""
+    args = build_parser().parse_args(argv)
+    engine, policy, admission = build_frontend(args)
+
+    async def serve() -> None:
+        async with MicroBatcher(engine, policy, admission) as batcher:
+            server = AsyncQueryServer(batcher, args.host, args.port)
+            host, port = await server.start()
+            print(
+                f"serving {engine.solver.graph.name} on {host}:{port} "
+                f"(backend {engine.backend.name}, policy {policy.label}, "
+                f"max_pending {admission.max_pending})"
+            )
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await server.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    finally:
+        engine.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI only
+    raise SystemExit(main())

@@ -139,6 +139,27 @@ class RouterStats:
         """Shard-cache hit rates, indexed by shard id."""
         return [shard.hit_rate for shard in self.shards]
 
+    def aggregate_cache(self) -> Optional[CacheStats]:
+        """Sum of the per-shard and fallback cache counters.
+
+        This is what makes :meth:`repro.serving.engine.EngineStats.as_dict`
+        uniform: a shard-routed engine reports the same ``cache`` shape as an
+        engine with a single shared cache.  ``None`` with caching off.
+        """
+        caches = [shard.cache for shard in self.shards if shard.cache is not None]
+        if self.fallback_cache is not None:
+            caches.append(self.fallback_cache)
+        if not caches:
+            return None
+        return CacheStats(
+            hits=sum(cache.hits for cache in caches),
+            misses=sum(cache.misses for cache in caches),
+            evictions=sum(cache.evictions for cache in caches),
+            rejected=sum(cache.rejected for cache in caches),
+            current_bytes=sum(cache.current_bytes for cache in caches),
+            num_entries=sum(cache.num_entries for cache in caches),
+        )
+
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict form for JSON reports."""
         return {
@@ -307,6 +328,22 @@ class ShardRouter:
             ),
             halo_overhead_bytes=self._halo_overhead_bytes,
         )
+
+    def reset_stats(self) -> None:
+        """Zero the routing counters and every cache's counters.
+
+        Cache *contents* (and the partition) are untouched; used for
+        per-interval reporting on long-running servers.
+        """
+        for shard_id, lock in enumerate(self._counter_locks):
+            with lock:
+                self._local_counts[shard_id] = 0
+                self._fallback_counts[shard_id] = 0
+        for cache in self._caches:
+            if cache is not None:
+                cache.reset_stats()
+        if self._fallback_cache is not None:
+            self._fallback_cache.reset_stats()
 
     def validate(self) -> None:
         """Check every cache's internal invariants (testing aid)."""

@@ -1,0 +1,187 @@
+"""Smoke and schema tests for the E11 latency study and its benchmark.
+
+Like the E9/E10 schema suites: run the study with tiny parameters and
+validate the JSON document the benchmark promises (latency percentiles, shed
+accounting, batch/dedup counters), plus the open-loop workload helpers in
+``repro.experiments.workloads``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.latency_study import format_latency, run_latency_study
+from repro.experiments.workloads import (
+    make_open_loop_workload,
+    make_poisson_arrivals,
+)
+from repro.serving.frontend import BatchPolicy
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def load_bench_module(name):
+    """Import a benchmark script by file path (benchmarks/ is not a package)."""
+    spec = importlib.util.spec_from_file_location(name, BENCH_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestPoissonWorkload:
+    def test_arrival_times_are_increasing(self):
+        arrivals = make_poisson_arrivals(50, rate_qps=100.0, rng=7)
+        assert arrivals.shape == (50,)
+        assert np.all(np.diff(arrivals) > 0)
+        # Mean gap of a Poisson process is 1/rate (loose bound, fixed rng).
+        assert 0.2 / 100.0 < np.mean(np.diff(arrivals)) < 5.0 / 100.0
+
+    def test_arrivals_validate_inputs(self):
+        with pytest.raises(ValueError, match="num_arrivals"):
+            make_poisson_arrivals(0)
+        with pytest.raises(ValueError, match="rate_qps"):
+            make_poisson_arrivals(5, rate_qps=0.0)
+
+    def test_open_loop_workload_shape(self):
+        workload = make_open_loop_workload("G1", num_seeds=3, num_arrivals=20, k=50, rng=5)
+        assert workload.num_queries == 20
+        assert len(workload.arrival_seconds) == 20
+        # Hot-seed pool: only num_seeds distinct seeds, so repeats occur.
+        assert len({query.seed for query in workload.queries}) <= 3
+        assert all(query.k == 50 for query in workload.queries)
+
+    def test_arrivals_rescale_with_rate(self):
+        workload = make_open_loop_workload("G1", num_seeds=2, num_arrivals=5, rng=5)
+        slow = workload.arrivals_at(10.0)
+        fast = workload.arrivals_at(100.0)
+        assert all(
+            fast_at == pytest.approx(slow_at / 10.0)
+            for slow_at, fast_at in zip(slow, fast)
+        )
+        with pytest.raises(ValueError, match="rate_qps"):
+            workload.arrivals_at(0.0)
+
+    def test_deterministic_for_fixed_rng(self):
+        first = make_open_loop_workload("G1", num_seeds=3, num_arrivals=10, rng=11)
+        second = make_open_loop_workload("G1", num_seeds=3, num_arrivals=10, rng=11)
+        assert first.queries == second.queries
+        assert first.arrival_seconds == second.arrival_seconds
+
+
+class TestLatencyStudySchema:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_latency_study(
+            num_seeds=2,
+            num_arrivals=8,
+            rates_qps=(200.0,),
+            policies=(
+                BatchPolicy(max_batch_size=1, max_wait_ms=0.0),
+                BatchPolicy(max_batch_size=4, max_wait_ms=1.0),
+            ),
+        )
+
+    def test_runs_cover_the_grid(self, study):
+        assert [run.label for run in study.runs] == [
+            "200qps-b1w0",
+            "200qps-b4w1",
+        ]
+
+    def test_as_dict_schema(self, study):
+        payload = study.as_dict()
+        assert set(payload) == {
+            "dataset",
+            "num_seeds",
+            "num_arrivals",
+            "k",
+            "max_pending",
+            "timeout_ms",
+            "runs",
+        }
+        for run in payload["runs"]:
+            assert run["completed"] + run["shed"] + run["expired"] == run["offered"]
+            assert 0.0 <= run["shed_rate"] <= 1.0
+            assert run["p50_ms"] <= run["p95_ms"] <= run["p99_ms"]
+            assert run["p99_ms"] <= run["max_ms"] + 1e-9
+            assert run["wall_seconds"] > 0.0
+            assert run["mean_batch_size"] >= 0.0
+            assert run["dedup_hits"] >= 0
+            assert 0.0 <= run["cache_hit_rate"] <= 1.0
+
+    def test_json_round_trip(self, study):
+        document = json.dumps(study.as_dict())
+        assert json.loads(document)["runs"]
+
+    def test_format_mentions_experiment(self, study):
+        text = format_latency(study)
+        assert "E11" in text
+        assert "200qps-b1w0" in text
+
+    def test_correctness_was_verified(self, study):
+        # run_latency_study raises if any completed answer deviates from the
+        # serial reference; with a feasible rate everything completes.
+        assert any(run.completed == run.offered for run in study.runs)
+
+
+class TestAsyncBenchScript:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return load_bench_module("bench_async_serving")
+
+    def test_study_json_schema(self, bench):
+        study = bench.run_benchmark(
+            num_seeds=2, num_arrivals=8, rates_qps=(200.0,)
+        )
+        payload = json.loads(bench.study_json(study))
+        assert payload["runs"]
+        for run in payload["runs"]:
+            assert "p99_ms" in run and "shed_rate" in run
+
+    def test_main_writes_json_file(self, bench, tmp_path):
+        out = tmp_path / "async-serving.json"
+        code = bench.main(
+            [
+                "--num-seeds",
+                "2",
+                "--num-arrivals",
+                "8",
+                "--rates",
+                "200",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["num_seeds"] == 2
+        assert payload["runs"]
+
+
+class TestLatencyStudyCLI:
+    def test_main_writes_json_file(self, tmp_path):
+        from repro.experiments import latency_study
+
+        out = tmp_path / "e11.json"
+        code = latency_study.main(
+            [
+                "--num-seeds",
+                "2",
+                "--num-arrivals",
+                "6",
+                "--rates",
+                "200",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["dataset"] == "G1"
+        assert len(payload["runs"]) == 2

@@ -1,0 +1,239 @@
+"""Execution-backend lifecycle tests and the make_backend registry.
+
+Covers the contract pieces the engine relies on but never exercises
+directly: ``close()`` idempotency, context-manager shutdown, exception
+propagation from a failing job through ``map``, submission-order results
+under concurrency, and lazy re-creation after close.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.serving import (
+    ExecutionBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    make_backend,
+)
+from repro.serving.frontend import AsyncBackend
+
+BACKEND_FACTORIES = [
+    SerialBackend,
+    lambda: ThreadPoolBackend(2),
+    lambda: AsyncBackend(2),
+]
+BACKEND_IDS = ["serial", "thread-pool", "async"]
+
+
+@pytest.fixture(params=BACKEND_FACTORIES, ids=BACKEND_IDS)
+def backend(request):
+    instance = request.param()
+    yield instance
+    instance.close()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self, backend):
+        backend.map(lambda x: x + 1, [1, 2, 3])
+        backend.close()
+        backend.close()  # must not raise
+
+    def test_close_before_first_use_is_clean(self, backend):
+        backend.close()  # nothing was lazily created yet
+
+    def test_context_manager_closes(self, backend):
+        with backend as entered:
+            assert entered is backend
+            assert entered.map(lambda x: x * 2, [1, 2]) == [2, 4]
+        # Held resources are gone (lazy state reset where there is any).
+        if isinstance(backend, ThreadPoolBackend):
+            assert backend._executor is None
+        if isinstance(backend, AsyncBackend):
+            assert backend._loop is None and backend._thread is None
+
+    def test_map_after_close_recreates_resources(self, backend):
+        backend.map(lambda x: x, [1])
+        backend.close()
+        assert backend.map(lambda x: x + 1, [1, 2]) == [2, 3]
+
+    def test_job_exception_propagates(self, backend):
+        def explode(item):
+            if item == 2:
+                raise ValueError(f"boom on {item}")
+            return item
+
+        with pytest.raises(ValueError, match="boom on 2"):
+            backend.map(explode, [1, 2, 3])
+        # The backend survives a failing batch and keeps serving.
+        assert backend.map(lambda x: x, [4, 5]) == [4, 5]
+
+    def test_empty_batch(self, backend):
+        assert backend.map(lambda x: x, []) == []
+
+    def test_results_in_submission_order(self, backend):
+        # Later jobs finish first under concurrency; order must still hold.
+        def job(item):
+            time.sleep(0.02 * (3 - item))
+            return item * 10
+
+        assert backend.map(job, [0, 1, 2, 3]) == [0, 10, 20, 30]
+
+
+class TestThreadPoolBackend:
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            ThreadPoolBackend(0)
+
+
+class TestAsyncBackend:
+    def test_rejects_nonpositive_concurrency(self):
+        with pytest.raises(ValueError, match="max_concurrency"):
+            AsyncBackend(0)
+
+    def test_map_from_own_loop_raises(self):
+        backend = AsyncBackend(2)
+        try:
+            backend.map(lambda x: x, [1])  # spin the loop up
+            loop = backend._loop
+
+            async def call_map_on_loop():
+                return backend.map(lambda x: x, [1])
+
+            future = asyncio.run_coroutine_threadsafe(call_map_on_loop(), loop)
+            with pytest.raises(RuntimeError, match="deadlock"):
+                future.result(timeout=5)
+        finally:
+            backend.close()
+
+    def test_run_coroutine_awaitable_from_any_loop(self):
+        backend = AsyncBackend(2)
+        try:
+            backend.map(lambda x: x, [0])  # create loop + pool
+
+            async def drive():
+                return await backend.run(lambda x: x * 3, [1, 2, 3])
+
+            future = asyncio.run_coroutine_threadsafe(drive(), backend._loop)
+            assert future.result(timeout=5) == [3, 6, 9]
+        finally:
+            backend.close()
+
+    def test_run_before_any_map_respects_the_concurrency_bound(self):
+        # run() must never fall back to the loop's default (unbounded)
+        # executor just because map() has not created the pool yet.
+        import threading
+
+        backend = AsyncBackend(1)
+        peak = {"value": 0, "current": 0}
+        lock = threading.Lock()
+
+        def job(item):
+            with lock:
+                peak["current"] += 1
+                peak["value"] = max(peak["value"], peak["current"])
+            time.sleep(0.02)
+            with lock:
+                peak["current"] -= 1
+            return item
+
+        try:
+            results = asyncio.run(backend.run(job, list(range(4))))
+            assert results == [0, 1, 2, 3]
+            assert peak["value"] == 1, "jobs overlapped past max_concurrency=1"
+        finally:
+            backend.close()
+
+    def test_close_drains_inflight_map_from_other_thread(self):
+        # close() must behave like ThreadPoolExecutor.shutdown(wait=True):
+        # a batch already in flight finishes and its mapping thread returns.
+        import threading
+
+        backend = AsyncBackend(2)
+        results = {}
+
+        def mapper():
+            results["value"] = backend.map(
+                lambda x: (time.sleep(0.05), x * 2)[1], [1, 2, 3]
+            )
+
+        try:
+            thread = threading.Thread(target=mapper)
+            thread.start()
+            time.sleep(0.02)  # batch is now in flight
+            backend.close()
+            thread.join(timeout=5)
+            assert not thread.is_alive(), "map() hung across close()"
+            assert results["value"] == [2, 4, 6]
+        finally:
+            backend.close()
+
+    def test_concurrent_flag_and_name(self):
+        backend = AsyncBackend()
+        assert backend.concurrent is True
+        assert backend.name == "async"
+        assert "AsyncBackend" in repr(backend)
+        backend.close()
+
+
+class TestMakeBackend:
+    def test_serial(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+
+    def test_none_means_serial(self):
+        assert isinstance(make_backend(None), SerialBackend)
+
+    @pytest.mark.parametrize("spec", ["thread", "threads", "thread-pool"])
+    def test_thread_aliases(self, spec):
+        backend = make_backend(spec)
+        assert isinstance(backend, ThreadPoolBackend)
+        assert backend.max_workers is None
+        backend.close()
+
+    def test_thread_with_workers(self):
+        backend = make_backend("thread:8")
+        assert isinstance(backend, ThreadPoolBackend)
+        assert backend.max_workers == 8
+        backend.close()
+
+    def test_async_with_workers(self):
+        backend = make_backend("async:4")
+        assert isinstance(backend, AsyncBackend)
+        assert backend.max_concurrency == 4
+        backend.close()
+
+    def test_spec_is_case_insensitive_and_trimmed(self):
+        backend = make_backend("  Thread:2 ")
+        assert isinstance(backend, ThreadPoolBackend)
+        assert backend.max_workers == 2
+        backend.close()
+
+    def test_instance_passes_through(self):
+        backend = SerialBackend()
+        assert make_backend(backend) is backend
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(ValueError, match="unknown backend spec"):
+            make_backend("fpga")
+
+    def test_serial_with_workers_raises(self):
+        with pytest.raises(ValueError, match="serial backend takes no"):
+            make_backend("serial:2")
+
+    def test_non_integer_worker_count_raises(self):
+        with pytest.raises(ValueError, match="non-integer"):
+            make_backend("thread:many")
+
+    def test_nonpositive_worker_count_raises(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            make_backend("thread:0")
+
+    def test_registry_backends_satisfy_interface(self):
+        for spec in ("serial", "thread:2", "async:2"):
+            backend = make_backend(spec)
+            assert isinstance(backend, ExecutionBackend)
+            assert backend.map(lambda x: x + 1, [1, 2]) == [2, 3]
+            backend.close()
