@@ -19,6 +19,7 @@ from repro.experiments.fig5_scalability import format_fig5, run_fig5
 from repro.experiments.fig6_sparsity import format_fig6, run_fig6
 from repro.experiments.fig7_tradeoff import format_fig7, run_fig7
 from repro.experiments.latency_study import format_latency, run_latency_study
+from repro.experiments.process_study import format_process, run_process_study
 from repro.experiments.quantization_study import format_quantization, run_quantization_study
 from repro.experiments.score_table_study import format_score_table, run_score_table_study
 from repro.experiments.serving_study import format_serving, run_serving_study
@@ -115,6 +116,13 @@ def run_all(profile: ExperimentProfile = QUICK_PROFILE) -> Dict[str, str]:
         run_latency_study(
             num_seeds=profile.num_seeds_small,
             num_arrivals=8 * profile.num_seeds_small,
+        )
+    )
+    reports["E12_process"] = format_process(
+        run_process_study(
+            num_seeds=profile.num_seeds_small,
+            repeat_factor=3,
+            worker_counts=(2,) if profile.name == "quick" else (2, 4),
         )
     )
     return reports

@@ -6,8 +6,8 @@ across them (:class:`SubgraphCache`), routes extractions to the shard owning
 them (:class:`ShardRouter` over a
 :class:`~repro.graph.partition.GraphPartition`, one cache per shard) and runs
 the per-query work on a pluggable :class:`ExecutionBackend` (serial,
-thread-pool or asyncio; build one from a spec string with
-:func:`make_backend`).  The algorithmic stage loop it drives lives in
+thread-pool, asyncio or a shared-memory process pool; build one from a spec
+string with :func:`make_backend`).  The algorithmic stage loop it drives lives in
 :mod:`repro.meloppr.planner`; the online request path — micro-batching,
 admission control, the TCP/JSON service — lives in
 :mod:`repro.serving.frontend`.
@@ -15,19 +15,28 @@ admission control, the TCP/JSON service — lives in
 
 from repro.serving.backends import (
     ExecutionBackend,
+    ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
+    WorkerCrashError,
     make_backend,
 )
 from repro.serving.cache import DEFAULT_CACHE_BYTES, CacheStats, SubgraphCache
 from repro.serving.engine import EngineStats, QueryEngine
 from repro.serving.sharding import RouterStats, ShardRouter, ShardServingStats
+from repro.serving.shm import (
+    SharedGraphHandle,
+    SharedShardHandle,
+    leaked_segment_names,
+)
 from repro.serving.telemetry import LatencyHistogram, LatencySnapshot
 
 __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "WorkerCrashError",
     "make_backend",
     "DEFAULT_CACHE_BYTES",
     "CacheStats",
@@ -37,6 +46,9 @@ __all__ = [
     "RouterStats",
     "ShardRouter",
     "ShardServingStats",
+    "SharedGraphHandle",
+    "SharedShardHandle",
+    "leaked_segment_names",
     "LatencyHistogram",
     "LatencySnapshot",
 ]

@@ -11,27 +11,61 @@ ordering and concurrency.  Two backends ship today:
   diffusion kernel spends its time in NumPy ufuncs that release the GIL, so
   threads overlap real work; results are still returned in submission order
   and are deterministic because every query's computation is independent.
+* :class:`ProcessPoolBackend` — persistent worker *processes* serving the
+  BFS-heavy stage tasks from a shared-memory copy of the graph.  The thread
+  pool is GIL-bound for the Python share of the extraction work (frontier
+  bookkeeping, sub-graph relabelling, id maps); the process pool is the first
+  backend whose throughput scales past one core.  Workers attach the CSR
+  buffers exported by :mod:`repro.serving.shm` once at spawn and then serve
+  pickled :class:`~repro.meloppr.planner.StageTask` requests; planning and
+  score folding stay in the parent, so scores are bit-identical to
+  :class:`SerialBackend`.  Bound to a
+  :class:`~repro.graph.partition.GraphPartition`, each worker is pinned to
+  its shards' sub-graphs (per-shard shared segments) and extractions beyond
+  the halo are proxied back to the parent.
 
-A third backend, :class:`~repro.serving.frontend.AsyncBackend`, runs jobs on
-an asyncio event loop (see :mod:`repro.serving.frontend`); benchmarks, the
+A further backend, :class:`~repro.serving.frontend.AsyncBackend`, runs jobs
+on an asyncio event loop (see :mod:`repro.serving.frontend`); benchmarks, the
 server CLI and user code construct any of them from a compact spec string via
-:func:`make_backend` (``"serial"``, ``"thread:8"``, ``"async:4"``).  Later
-PRs can add process-pool and modelled-FPGA backends behind the same
-two-method interface (see ROADMAP open items).
+:func:`make_backend` (``"serial"``, ``"thread:8"``, ``"async:4"``,
+``"process:4"``).  Later PRs can add a modelled-FPGA backend behind the same
+interface (see ROADMAP open items).
 """
 
 from __future__ import annotations
 
 import abc
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar, Union
+import itertools
+import multiprocessing
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from multiprocessing.connection import wait as _connection_wait
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
+
+from repro.serving.cache import DEFAULT_CACHE_BYTES, CacheStats, SubgraphCache
 
 __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "WorkerCrashError",
     "make_backend",
 ]
+
+#: Knuth's multiplicative hash constant (same spread as the hash partitioner).
+_HASH_MULTIPLIER = 2654435761
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -127,6 +161,775 @@ class ThreadPoolBackend(ExecutionBackend):
         return f"ThreadPoolBackend(max_workers={workers})"
 
 
+class WorkerCrashError(RuntimeError):
+    """A process-pool worker died (or the pool is unusable after a death).
+
+    Raised for every stage task that was in flight when a worker crashed and
+    for every dispatch attempted afterwards, so a killed worker surfaces as a
+    clear batch error instead of a hang.  ``close()`` resets the pool; the
+    next batch respawns fresh workers.
+    """
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution (runs in the spawned/forked worker processes).
+# ----------------------------------------------------------------------
+class _WireGraph:
+    """Size-only stand-in for the ego CSR graph in a wire outcome."""
+
+    __slots__ = ("_nbytes",)
+
+    def __init__(self, nbytes: int) -> None:
+        self._nbytes = int(nbytes)
+
+    def nbytes(self) -> int:
+        return self._nbytes
+
+
+class _WireSubgraph:
+    """The slice of a :class:`~repro.graph.subgraph.Subgraph` the planner folds.
+
+    The parent's fold loop reads ``global_ids``, the node/edge counts and the
+    retained byte size — never the CSR arrays or the global→local map, which
+    dominate the pickle cost of a full sub-graph.  Workers therefore ship
+    this compact stand-in instead: ~third of the bytes, ~third of the
+    parent-side unpickle time, and the parent's unpickle+fold throughput is
+    exactly what bounds how many workers the pool can feed.
+    """
+
+    __slots__ = ("global_ids", "num_nodes", "num_edges", "graph")
+
+    def __init__(self, global_ids, num_nodes: int, num_edges: int, graph_nbytes: int) -> None:
+        self.global_ids = global_ids
+        self.num_nodes = int(num_nodes)
+        self.num_edges = int(num_edges)
+        self.graph = _WireGraph(graph_nbytes)
+
+
+class _WireBFS:
+    """The slice of a BFS record the planner folds (cost model input)."""
+
+    __slots__ = ("source", "depth", "edges_scanned")
+
+    def __init__(self, source: int, depth: int, edges_scanned: int) -> None:
+        self.source = int(source)
+        self.depth = int(depth)
+        self.edges_scanned = int(edges_scanned)
+
+
+def _compact_outcome(outcome):
+    """Shrink a worker's StageTaskOutcome to the fields the planner folds."""
+    from repro.meloppr.planner import StageTaskOutcome
+
+    subgraph = outcome.subgraph
+    bfs = outcome.bfs
+    return StageTaskOutcome(
+        task=outcome.task,
+        subgraph=_WireSubgraph(
+            subgraph.global_ids,
+            subgraph.num_nodes,
+            subgraph.num_edges,
+            subgraph.graph.nbytes(),
+        ),
+        bfs=_WireBFS(bfs.source, bfs.depth, bfs.edges_scanned),
+        diffusion=outcome.diffusion,
+        cache_hit=outcome.cache_hit,
+    )
+
+
+
+class _WorkerState:
+    """One worker's attached graph(s) and extraction cache(s).
+
+    Built from the shared-memory descriptors the parent hands to
+    :func:`_process_worker_main`; also constructed in-process by the unit
+    tests, which is what keeps this logic under the coverage floor even
+    though the worker loop itself runs in a child process.
+    """
+
+    def __init__(self, bindings, cache_bytes: Optional[int]) -> None:
+        # Imported here (not at module top) so importing the backends module
+        # stays light; workers pay the import once at spawn.
+        from repro.serving.shm import (
+            SharedGraphDescriptor,
+            SharedGraphHandle,
+            SharedShardHandle,
+        )
+
+        self._cache_bytes = cache_bytes
+        self._host_graph = None
+        self._host_cache: Optional[SubgraphCache] = None
+        self._shards: Dict[int, Tuple[object, Optional[SubgraphCache]]] = {}
+        if isinstance(bindings, SharedGraphDescriptor):
+            self._attached = SharedGraphHandle.attach(bindings)
+            self._host_graph = self._attached.graph
+            if cache_bytes is not None:
+                self._host_cache = SubgraphCache(cache_bytes)
+        else:
+            self._attachments = []
+            for descriptor in bindings:
+                attached = SharedShardHandle.attach(descriptor)
+                self._attachments.append(attached)
+                cache = SubgraphCache(cache_bytes) if cache_bytes is not None else None
+                self._shards[attached.shard_id] = (attached, cache)
+
+    # ------------------------------------------------------------------
+    def run_task(self, task, shard_id: Optional[int]):
+        """Execute one stage task; returns ``(outcome, timing_seconds)``."""
+        from repro.meloppr.planner import execute_stage_task
+        from repro.utils.timing import TimingBreakdown
+
+        timing = TimingBreakdown()
+        if shard_id is None:
+            extract = (
+                self._host_cache.get_or_extract
+                if self._host_cache is not None
+                else None
+            )
+            outcome = execute_stage_task(
+                self._host_graph, task, extract=extract, timing=timing
+            )
+        else:
+            outcome = execute_stage_task(
+                # The shard-local extract hook ignores the graph argument
+                # (workers never hold the host graph); None documents that.
+                None,
+                task,
+                extract=self._shard_extract(shard_id),
+                timing=timing,
+            )
+        return outcome, dict(timing.seconds)
+
+    def _shard_extract(self, shard_id: int):
+        """The shard-local extraction hook (mirrors ``ShardRouter._extract_local``)."""
+        from repro.serving.sharding import globalize_shard_extraction
+
+        try:
+            attached, cache = self._shards[shard_id]
+        except KeyError:
+            raise WorkerCrashError(
+                f"worker does not hold shard {shard_id} "
+                f"(holds {sorted(self._shards)})"
+            ) from None
+
+        def extract(_graph, center: int, depth: int):
+            if cache is not None:
+                cached = cache.get(center, depth)
+                if cached is not None:
+                    return cached[0], cached[1], True
+            subgraph, bfs = globalize_shard_extraction(
+                attached.host_name, attached.subgraph, center, depth
+            )
+            if cache is not None:
+                cache.put(center, depth, subgraph, bfs)
+            return subgraph, bfs, False
+
+        return extract
+
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Summed cache counters of this worker (``None`` with caching off)."""
+        caches = [cache for _, cache in self._shards.values() if cache is not None]
+        if self._host_cache is not None:
+            caches.append(self._host_cache)
+        if not caches:
+            return None
+        totals = CacheStats()
+        for cache in caches:
+            totals = totals + cache.stats
+        return totals
+
+
+def _picklable_exception(exc: BaseException) -> BaseException:
+    """The exception itself when it pickles, else a faithful stand-in."""
+    import pickle
+
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _process_worker_main(
+    worker_index: int,
+    bindings,
+    cache_bytes: Optional[int],
+    requests,
+    responses,
+) -> None:  # pragma: no cover - runs in a child process
+    """Worker loop: attach shared graph buffers once, serve stage tasks.
+
+    Protocol (all over ``SimpleQueue`` — no feeder threads, so a worker can
+    exit with ``os._exit`` without losing buffered responses).  Stage tasks
+    arrive *grouped*: all of one stage's tasks routed to this worker travel
+    in a single message, so the per-message IPC cost (two pickles, two
+    context switches) is paid once per worker per stage instead of once per
+    task — that overhead is what would otherwise eat the multi-core win on
+    small sub-graphs:
+
+    * request ``("tasks", request_id, [(shard_id_or_None, StageTask), ...])``
+      → response ``("ok", request_id, [StageTaskOutcome, ...], timing_seconds)``
+      or ``("err", request_id, exception)`` (the whole group fails)
+    * request ``("stats", request_id)`` →
+      response ``("stats", request_id, cache_counters_or_None)``
+    * request ``None`` → clean shutdown.
+    """
+    try:
+        state = _WorkerState(bindings, cache_bytes)
+    except BaseException as exc:
+        responses.put(("spawn-err", worker_index, _picklable_exception(exc)))
+        os._exit(1)
+    responses.put(("ready", worker_index, None))
+    exit_code = 0
+    while True:
+        try:
+            item = requests.get()
+        except (EOFError, OSError):
+            exit_code = 1
+            break
+        if item is None:
+            break
+        kind = item[0]
+        if kind == "tasks":
+            _, request_id, entries = item
+            try:
+                outcomes = []
+                timing: Dict[str, float] = {}
+                for shard_id, task in entries:
+                    outcome, task_timing = state.run_task(task, shard_id)
+                    outcomes.append(_compact_outcome(outcome))
+                    for bucket, seconds in task_timing.items():
+                        timing[bucket] = timing.get(bucket, 0.0) + seconds
+                responses.put(("ok", request_id, outcomes, timing))
+            except BaseException as exc:
+                responses.put(("err", request_id, _picklable_exception(exc)))
+        elif kind == "stats":
+            _, request_id = item
+            responses.put(("stats", request_id, state.cache_stats()))
+    # _exit skips interpreter teardown: a forked worker must not run the
+    # parent's inherited atexit hooks (coverage, logging, ...) and SimpleQueue
+    # writes are synchronous, so nothing is left buffered.
+    os._exit(exit_code)
+
+
+# ----------------------------------------------------------------------
+# Parent-side backend.
+# ----------------------------------------------------------------------
+class ProcessPoolBackend(ExecutionBackend):
+    """Serve stage tasks on persistent worker processes over shared memory.
+
+    The backend must be bound before use — :class:`~repro.serving.engine.
+    QueryEngine` does this at construction: :meth:`bind_graph` exports the
+    host graph's CSR buffers to shared memory (every worker attaches the same
+    segments), :meth:`bind_partition` exports one segment set per shard and
+    pins each worker to the shards it serves (``shard_id % num_workers``).
+    Workers start lazily on first dispatch and survive across batches; after
+    :meth:`close` (which joins the workers and **unlinks** the shared
+    segments) the next dispatch transparently respawns the pool from the
+    stored binding.
+
+    Division of labour per query: the parent runs the planner (folding,
+    residual selection — cheap, Python) on :meth:`map`'s thread pool, while
+    every :class:`~repro.meloppr.planner.StageTask` (BFS extraction +
+    diffusion — the GIL-heavy share) is pickled to a worker and its
+    :class:`~repro.meloppr.planner.StageTaskOutcome` pickled back, in
+    submission order.  Scores are bit-identical to :class:`SerialBackend`
+    because the fold order and every task's arithmetic are unchanged; only
+    where the task ran differs.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker processes; defaults to ``os.cpu_count()``.
+    mp_context:
+        Start method (``"fork"``/``"spawn"``/``"forkserver"``); defaults to
+        ``"fork"`` where available (fast spawn, Linux) else ``"spawn"``.
+    cache_bytes:
+        Byte budget of each worker's extraction cache (workers cache
+        extractions themselves — the parent's cache cannot help them).
+        ``None`` disables worker-side caching.
+    """
+
+    name = "process-pool"
+    concurrent = True
+    #: Engines route plan execution through :meth:`run_stage_tasks` when set.
+    executes_stage_tasks = True
+
+    _JOIN_TIMEOUT_SECONDS = 5.0
+
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        mp_context: Optional[str] = None,
+        cache_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
+    ) -> None:
+        if num_workers is not None and num_workers <= 0:
+            raise ValueError(f"num_workers must be > 0, got {num_workers}")
+        if cache_bytes is not None and cache_bytes <= 0:
+            raise ValueError(f"cache_bytes must be > 0 or None, got {cache_bytes}")
+        self._num_workers = num_workers if num_workers is not None else (os.cpu_count() or 1)
+        if mp_context is not None and mp_context not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"unknown start method {mp_context!r}; choose from "
+                f"{multiprocessing.get_all_start_methods()}"
+            )
+        self._mp_context_name = mp_context
+        self._cache_bytes = cache_bytes
+
+        self._state_lock = threading.RLock()
+        self._pending_lock = threading.Lock()
+        self._task_ids = itertools.count()
+        self._pending: Dict[int, Future] = {}
+        self._broken: Optional[WorkerCrashError] = None
+        self._stop_event: Optional[threading.Event] = None
+
+        # Binding (what to serve) persists across close(); runtime state
+        # (workers, queues, shared segments) is created per start.
+        self._bound_graph = None
+        self._bound_partition = None
+        self._workers: List[multiprocessing.process.BaseProcess] = []
+        self._request_queues: List[object] = []
+        self._response_queue = None
+        self._collector: Optional[threading.Thread] = None
+        self._shm_handles: List[object] = []
+        self._threads: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        """Configured worker-process count."""
+        return self._num_workers
+
+    @property
+    def cache_bytes(self) -> Optional[int]:
+        """Per-worker extraction-cache budget (``None`` = caching off)."""
+        return self._cache_bytes
+
+    @property
+    def is_running(self) -> bool:
+        """Whether worker processes are currently alive."""
+        return bool(self._workers)
+
+    def _context(self):
+        if self._mp_context_name is not None:
+            return multiprocessing.get_context(self._mp_context_name)
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+    def bind_graph(self, graph) -> None:
+        """Serve stage tasks for ``graph`` (whole host graph in every worker).
+
+        Starts the workers eagerly so the spawn cost lands at engine
+        construction, not inside the first measured batch.
+        """
+        with self._state_lock:
+            if self._bound_partition is not None:
+                raise RuntimeError("backend is already bound to a partition")
+            if self._bound_graph is not None:
+                if self._bound_graph is graph:
+                    return
+                raise RuntimeError(
+                    f"backend is bound to graph {self._bound_graph.name!r}; "
+                    f"create one ProcessPoolBackend per graph (got {graph.name!r})"
+                )
+            self._bound_graph = graph
+            self._ensure_running()
+
+    def bind_partition(self, partition) -> None:
+        """Serve stage tasks for a partitioned graph (workers pinned to shards)."""
+        with self._state_lock:
+            if self._bound_graph is not None:
+                raise RuntimeError("backend is already bound to a host graph")
+            if self._bound_partition is not None:
+                if self._bound_partition is partition:
+                    return
+                raise RuntimeError(
+                    "backend is bound to a different partition; create one "
+                    "ProcessPoolBackend per partition"
+                )
+            self._bound_partition = partition
+            self._ensure_running()
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_running(self) -> None:
+        with self._state_lock:
+            if self._broken is not None:
+                raise self._broken
+            if self._workers:
+                return
+            if self._bound_graph is None and self._bound_partition is None:
+                raise RuntimeError(
+                    "ProcessPoolBackend is unbound; call bind_graph() or "
+                    "bind_partition() first (QueryEngine does this for you)"
+                )
+            self._start()
+
+    def _start(self) -> None:
+        """Export shared memory, spawn workers, start the collector."""
+        from repro.serving.shm import SharedGraphHandle, SharedShardHandle
+
+        context = self._context()
+        handles: List[object] = []
+        workers: List[multiprocessing.process.BaseProcess] = []
+        request_queues = []
+        response_queue = context.SimpleQueue()
+        try:
+            if self._bound_partition is not None:
+                partition = self._bound_partition
+                shard_handles = [
+                    SharedShardHandle.export(
+                        shard, partition.host.name, partition.halo_depth
+                    )
+                    for shard in partition.shards
+                ]
+                handles.extend(shard_handles)
+                bindings = [
+                    tuple(
+                        handle.descriptor
+                        for handle in shard_handles
+                        if handle.descriptor.shard_id % self._num_workers == index
+                    )
+                    for index in range(self._num_workers)
+                ]
+            else:
+                graph_handle = SharedGraphHandle.export(self._bound_graph)
+                handles.append(graph_handle)
+                bindings = [graph_handle.descriptor] * self._num_workers
+
+            for index in range(self._num_workers):
+                requests = context.SimpleQueue()
+                worker = context.Process(
+                    target=_process_worker_main,
+                    args=(
+                        index,
+                        bindings[index],
+                        self._cache_bytes,
+                        requests,
+                        response_queue,
+                    ),
+                    name=f"repro-serving-{index}",
+                    daemon=True,
+                )
+                worker.start()
+                workers.append(worker)
+                request_queues.append(requests)
+        except Exception:
+            for worker in workers:
+                worker.terminate()
+            for handle in handles:
+                handle.unlink()
+            raise
+
+        self._shm_handles = handles
+        self._workers = workers
+        self._request_queues = request_queues
+        self._response_queue = response_queue
+        self._broken = None
+        # The stop event is per pool generation: a stale collector from a
+        # previous generation can never observe it unset and poison the
+        # respawned pool's state.
+        stop_event = threading.Event()
+        self._stop_event = stop_event
+        self._collector = threading.Thread(
+            target=self._collect,
+            args=(response_queue, list(workers), stop_event),
+            name="repro-serving-collector",
+            daemon=True,
+        )
+        self._collector.start()
+
+    def close(self) -> None:
+        """Stop the workers and release every shared segment (idempotent).
+
+        The shared-memory unlink runs in a ``finally`` so a wedged or crashed
+        worker can delay the join but never leak ``/dev/shm`` — the
+        engine relies on this from its own error paths.
+        """
+        with self._state_lock:
+            workers = self._workers
+            request_queues = self._request_queues
+            collector = self._collector
+            handles = self._shm_handles
+            stop_event = self._stop_event
+            self._workers = []
+            self._request_queues = []
+            self._collector = None
+            self._shm_handles = []
+            self._stop_event = None
+            if stop_event is not None:
+                stop_event.set()
+            try:
+                for queue in request_queues:
+                    try:
+                        queue.put(None)
+                    except (OSError, ValueError):  # pragma: no cover - worker gone
+                        pass
+                for worker in workers:
+                    worker.join(timeout=self._JOIN_TIMEOUT_SECONDS)
+                for worker in workers:
+                    if worker.is_alive():  # pragma: no cover - wedged worker
+                        worker.terminate()
+                        worker.join(timeout=self._JOIN_TIMEOUT_SECONDS)
+                if collector is not None:
+                    collector.join(timeout=self._JOIN_TIMEOUT_SECONDS)
+                self._fail_pending(
+                    WorkerCrashError("backend closed with stage tasks in flight")
+                )
+            finally:
+                for queue in request_queues:
+                    try:
+                        queue.close()
+                    except OSError:  # pragma: no cover - already closed
+                        pass
+                if self._response_queue is not None:
+                    try:
+                        self._response_queue.close()
+                    except OSError:  # pragma: no cover - already closed
+                        pass
+                    self._response_queue = None
+                for handle in handles:
+                    handle.unlink()
+                if self._threads is not None:
+                    self._threads.shutdown(wait=True)
+                    self._threads = None
+                # A crashed pool is fully reset by close(); the stored
+                # binding lets the next dispatch respawn a fresh pool.
+                self._broken = None
+
+    # ------------------------------------------------------------------
+    # Response collection / crash detection
+    # ------------------------------------------------------------------
+    def _collect(self, response_queue, workers, stop_event) -> None:
+        """Collector thread: resolve futures, watch worker sentinels."""
+        reader = response_queue._reader  # Connection; poll()/recv() via get()
+        sentinels = [worker.sentinel for worker in workers]
+        while True:
+            try:
+                _connection_wait([reader] + sentinels, timeout=0.2)
+                # Drain every available response before looking at deaths so
+                # results that raced a crash still resolve.
+                while reader.poll():
+                    self._resolve(response_queue.get())
+            except (OSError, EOFError):  # pragma: no cover - queue torn down
+                return
+            if stop_event.is_set():
+                return
+            dead = [
+                worker for worker in workers if worker.exitcode not in (None, 0)
+            ]
+            if dead:
+                names = ", ".join(
+                    f"{worker.name} (exit {worker.exitcode})" for worker in dead
+                )
+                error = WorkerCrashError(
+                    f"process-pool worker died: {names}; the batch cannot "
+                    "complete — close() the engine/backend to respawn"
+                )
+                with self._pending_lock:
+                    self._broken = error
+                self._fail_pending(error)
+                return
+
+    def _resolve(self, message) -> None:
+        kind = message[0]
+        if kind in ("ready", "spawn-err"):
+            # Spawn failures surface through the sentinel path (the worker
+            # exits non-zero); the explicit message just carries the cause.
+            if kind == "spawn-err":
+                with self._pending_lock:
+                    self._broken = WorkerCrashError(
+                        f"worker {message[1]} failed to attach shared graph "
+                        f"buffers: {message[2]!r}"
+                    )
+            return
+        future = self._pop_pending(message[1])
+        if future is None:  # pragma: no cover - late response after a crash
+            return
+        if kind == "ok":
+            future.set_result((message[2], message[3]))
+        elif kind == "stats":
+            future.set_result(message[2])
+        else:
+            future.set_exception(message[2])
+
+    def _pop_pending(self, task_id: int) -> Optional[Future]:
+        with self._pending_lock:
+            return self._pending.pop(task_id, None)
+
+    def _fail_pending(self, error: WorkerCrashError) -> None:
+        with self._pending_lock:
+            futures = list(self._pending.values())
+            self._pending.clear()
+        for future in futures:
+            if not future.done():
+                future.set_exception(error)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _route(self, task, shard_id: Optional[int]) -> int:
+        """Which worker queue serves this task."""
+        if shard_id is not None:
+            return shard_id % self._num_workers
+        # Centre-affine routing: the same extraction centre always lands on
+        # the same worker, so its extraction cache actually sees the
+        # workload's repeats (round-robin would spray hot seeds across
+        # workers and miss everywhere).  Multiplicative hashing spreads cold
+        # centres evenly; hot centres are cheap cache hits, so the affinity
+        # skew costs less than the lost reuse would.
+        return ((task.center * _HASH_MULTIPLIER) >> 16) % self._num_workers
+
+    def _dispatch_group(self, queue_index: int, entries: List[Tuple[Optional[int], object]]) -> Future:
+        """Send one worker its share of a stage as a single message."""
+        with self._pending_lock:
+            if self._broken is not None:
+                raise self._broken
+            request_id = next(self._task_ids)
+            future: Future = Future()
+            self._pending[request_id] = future
+        self._request_queues[queue_index].put(("tasks", request_id, entries))
+        return future
+
+    def run_stage_tasks(
+        self,
+        tasks: Sequence,
+        fallback: Optional[Callable] = None,
+        timing=None,
+    ) -> List:
+        """Execute one stage's tasks, in order, on the worker pool.
+
+        Tasks are grouped per worker — one IPC message per worker per stage,
+        not per task — which keeps the pickle/context-switch overhead
+        amortised across a whole fan-out stage.  With a partition binding,
+        tasks whose depth exceeds the halo cannot be answered shard-locally
+        and are executed in the calling thread via ``fallback`` (the engine
+        passes its router's extraction hook, which serves them from the host
+        graph through the fallback cache) — the remote groups keep running
+        in the workers meanwhile.  ``timing`` (a
+        :class:`~repro.utils.timing.TimingBreakdown`) receives the workers'
+        ``bfs``/``diffusion`` buckets so plan timing stays populated under
+        remote execution.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        self._ensure_running()
+        partition = self._bound_partition
+        slots: List[object] = [None] * len(tasks)
+        groups: Dict[int, Tuple[List[int], List[Tuple[Optional[int], object]]]] = {}
+        local: List[Tuple[int, object]] = []
+        for position, task in enumerate(tasks):
+            shard_id: Optional[int] = None
+            if partition is not None:
+                if not partition.covers_depth(task.length):
+                    local.append((position, task))
+                    continue
+                shard_id = int(partition.assignments[task.center])
+            positions, entries = groups.setdefault(
+                self._route(task, shard_id), ([], [])
+            )
+            positions.append(position)
+            entries.append((shard_id, task))
+        remote = [
+            (positions, self._dispatch_group(queue_index, entries))
+            for queue_index, (positions, entries) in groups.items()
+        ]
+        if local:
+            from repro.meloppr.planner import execute_stage_task
+
+            for position, task in local:
+                slots[position] = execute_stage_task(
+                    partition.host, task, extract=fallback, timing=timing
+                )
+        for positions, future in remote:
+            outcomes, group_timing = future.result()
+            if timing is not None:
+                for bucket, seconds in group_timing.items():
+                    timing.add(bucket, seconds)
+            for position, outcome in zip(positions, outcomes):
+                slots[position] = outcome
+        return slots
+
+    # ------------------------------------------------------------------
+    # ExecutionBackend interface
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Run the per-query jobs on a parent thread pool.
+
+        The jobs themselves are light in the parent — planning and score
+        folding — and block on worker IPC for the heavy stage tasks, so a
+        small thread pool keeps every worker process fed while preserving
+        submission order.  (For solvers without a planner the jobs run
+        entirely in these threads, i.e. the backend degrades to a thread
+        pool — document, don't surprise.)
+        """
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._ensure_threads().map(fn, items))
+
+    def _ensure_threads(self) -> ThreadPoolExecutor:
+        with self._state_lock:
+            if self._threads is None:
+                self._threads = ThreadPoolExecutor(
+                    max_workers=2 * self._num_workers,
+                    thread_name_prefix="repro-serving-feeder",
+                )
+            return self._threads
+
+    # ------------------------------------------------------------------
+    _STATS_TIMEOUT_SECONDS = 5.0
+
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Aggregate worker-side extraction-cache counters.
+
+        A control round-trip to every worker; returns ``None`` while the
+        pool is not running or when worker caching is disabled.  The control
+        message queues behind in-flight stage-task groups, so the wait is
+        bounded (:data:`_STATS_TIMEOUT_SECONDS`) and a busy or crashed pool
+        degrades to ``None`` rather than stalling or raising into a stats
+        endpoint.
+        """
+        with self._state_lock:
+            if not self._workers or self._cache_bytes is None:
+                return None
+            futures = []
+            for queue in self._request_queues:
+                with self._pending_lock:
+                    if self._broken is not None:
+                        return None
+                    request_id = next(self._task_ids)
+                    future: Future = Future()
+                    self._pending[request_id] = future
+                queue.put(("stats", request_id))
+                futures.append(future)
+        totals = CacheStats()
+        for future in futures:
+            try:
+                counters = future.result(timeout=self._STATS_TIMEOUT_SECONDS)
+            except (WorkerCrashError, FutureTimeoutError):
+                return None
+            if counters is None:
+                continue
+            totals = totals + counters
+        return totals
+
+    def __repr__(self) -> str:
+        bound = "unbound"
+        if self._bound_partition is not None:
+            bound = f"partition[{self._bound_partition.num_shards}]"
+        elif self._bound_graph is not None:
+            bound = repr(self._bound_graph.name)
+        return (
+            f"ProcessPoolBackend(num_workers={self._num_workers}, "
+            f"bound={bound}, running={self.is_running})"
+        )
+
+
 def make_backend(spec: Union[str, ExecutionBackend, None]) -> ExecutionBackend:
     """Build an execution backend from a compact spec string.
 
@@ -137,6 +940,8 @@ def make_backend(spec: Union[str, ExecutionBackend, None]) -> ExecutionBackend:
     ``"thread"``/``:N``     :class:`ThreadPoolBackend` (``N`` workers)
     ``"async"``/``:N``      :class:`~repro.serving.frontend.AsyncBackend`
                             (``N``-thread event-loop offload pool)
+    ``"process"``/``:N``    :class:`ProcessPoolBackend` (``N`` worker
+                            processes over shared-memory graph buffers)
     ======================  ====================================================
 
     ``None`` means :class:`SerialBackend`, and an :class:`ExecutionBackend`
@@ -169,7 +974,9 @@ def make_backend(spec: Union[str, ExecutionBackend, None]) -> ExecutionBackend:
         from repro.serving.frontend.async_backend import AsyncBackend
 
         return AsyncBackend(max_concurrency=workers)
+    if name in ("process", "processes", "process-pool"):
+        return ProcessPoolBackend(num_workers=workers)
     raise ValueError(
-        f"unknown backend spec {spec!r}; expected 'serial', 'thread[:N]' "
-        "or 'async[:N]'"
+        f"unknown backend spec {spec!r}; expected 'serial', 'thread[:N]', "
+        "'async[:N]' or 'process[:N]'"
     )

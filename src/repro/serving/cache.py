@@ -61,6 +61,21 @@ class CacheStats:
     current_bytes: int = 0
     num_entries: int = 0
 
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        """Counter-wise sum — the single aggregation used by every roll-up
+        (router shard caches, process-pool worker caches, engine snapshots),
+        so a new counter field is added in exactly one place."""
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            rejected=self.rejected + other.rejected,
+            current_bytes=self.current_bytes + other.current_bytes,
+            num_entries=self.num_entries + other.num_entries,
+        )
+
     @property
     def lookups(self) -> int:
         """Total lookups (hits + misses)."""

@@ -47,6 +47,17 @@ from repro.serving.telemetry import LatencyHistogram, LatencySnapshot
 __all__ = ["EngineStats", "QueryEngine"]
 
 
+def _merge_cache_stats(
+    first: Optional[CacheStats], second: Optional[CacheStats]
+) -> Optional[CacheStats]:
+    """Counter-wise sum of two cache snapshots (``None`` acts as empty)."""
+    if first is None:
+        return second
+    if second is None:
+        return first
+    return first + second
+
+
 @dataclass
 class EngineStats:
     """Aggregate serving statistics of a :class:`QueryEngine`.
@@ -193,6 +204,25 @@ class QueryEngine:
         self._pending: List[PPRQuery] = []
         self._stats = EngineStats(backend=self._backend.name)
         self._latency = LatencyHistogram()
+        # A stage-task backend (the process pool) must know what graph its
+        # workers serve before the first batch: bind it to the partition when
+        # sharded (workers pin to shards) or to the host graph otherwise.
+        if getattr(self._backend, "executes_stage_tasks", False):
+            if cache is not None:
+                # The extractions happen inside the workers, so an
+                # engine-level cache would never see a single lookup —
+                # reject the dead combination instead of silently ignoring
+                # a configured budget (mirrors the cache=/router= conflict).
+                raise ValueError(
+                    f"backend {self._backend.name!r} executes stage tasks in "
+                    "worker processes, which cache extractions themselves — "
+                    "configure the worker cache via the backend (e.g. "
+                    "ProcessPoolBackend(cache_bytes=...)) instead of cache="
+                )
+            if router is not None:
+                self._backend.bind_partition(router.partition)
+            else:
+                self._backend.bind_graph(solver.graph)
 
     # ------------------------------------------------------------------
     @property
@@ -270,18 +300,47 @@ class QueryEngine:
             # force tracking off there (peak_memory_bytes then reports the
             # deterministic modelled working set instead).
             track_memory = False if self._backend.concurrent else None
-            result = execute_plan(
-                plan_factory(query, track_memory=track_memory), extract=extract
-            )
+            plan = plan_factory(query, track_memory=track_memory)
+            if getattr(self._backend, "executes_stage_tasks", False):
+                result = self._execute_plan_remote(plan, extract)
+            else:
+                result = execute_plan(plan, extract=extract)
         else:
             result = self._solver.solve(query)
         latency = time.perf_counter() - start
+        return self._finish_result(result, latency)
+
+    def _execute_plan_remote(self, plan, extract) -> PPRResult:
+        """Drive a plan with the stage tasks executed on the backend's workers.
+
+        The plan (folding, residual selection) runs here in the parent, in
+        exactly the serial order, so scores stay bit-identical to
+        :func:`~repro.meloppr.planner.execute_plan`; only the extraction +
+        diffusion of each task happens in a worker process.  ``extract`` is
+        the parent-side hook for tasks the workers cannot serve (sharded
+        extractions beyond the halo fall back to the host graph here).
+        """
+        try:
+            while not plan.done:
+                plan.complete_stage(
+                    self._backend.run_stage_tasks(
+                        plan.pending_tasks, fallback=extract, timing=plan.timing
+                    )
+                )
+        finally:
+            plan.close()
+        return plan.finish()
+
+    def _finish_result(self, result: PPRResult, latency: float) -> PPRResult:
+        """Stamp the serving metadata onto one query's result."""
         result.metadata["serving"] = {
             "backend": self._backend.name,
+            "remote_tasks": getattr(self._backend, "executes_stage_tasks", False),
             "latency_seconds": latency,
             "cache_enabled": (
                 self._cache is not None
                 or (self._router is not None and self._router.caching_enabled)
+                or getattr(self._backend, "cache_bytes", None) is not None
             ),
             "sharded": self._router is not None,
         }
@@ -303,6 +362,11 @@ class QueryEngine:
             cache_stats = router_stats.aggregate_cache()
         else:
             cache_stats = None
+        # A stage-task backend caches extractions in its workers; fold those
+        # counters in so ``stats.cache.hit_rate`` stays meaningful there too.
+        backend_cache_stats = getattr(self._backend, "cache_stats", None)
+        if backend_cache_stats is not None:
+            cache_stats = _merge_cache_stats(cache_stats, backend_cache_stats())
         return EngineStats(
             backend=stats.backend,
             queries_served=stats.queries_served,
@@ -338,16 +402,23 @@ class QueryEngine:
         Submitted-but-undrained queries are answers the caller still expects,
         so closing with a non-empty queue raises unless ``discard_pending``
         explicitly waives them — call :meth:`drain` first to get the results.
+        The backend is released **even on that error path** (in a
+        ``finally``): backends may hold OS resources (worker processes,
+        shared-memory segments) that must never outlive a failed close.  A
+        subsequent :meth:`drain` still works — every backend restarts lazily
+        on its next dispatch.
         """
-        if self._pending:
-            if not discard_pending:
-                raise RuntimeError(
-                    f"{len(self._pending)} submitted queries are still pending; "
-                    "drain() before close(), or close(discard_pending=True) "
-                    "to drop them"
-                )
-            self._pending.clear()
-        self._backend.close()
+        try:
+            if self._pending:
+                if not discard_pending:
+                    raise RuntimeError(
+                        f"{len(self._pending)} submitted queries are still pending; "
+                        "drain() before close(), or close(discard_pending=True) "
+                        "to drop them"
+                    )
+                self._pending.clear()
+        finally:
+            self._backend.close()
 
     def __enter__(self) -> "QueryEngine":
         return self

@@ -308,7 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backend",
         default="async:4",
-        help="engine backend spec: serial, thread[:N] or async[:N]",
+        help="engine backend spec: serial, thread[:N], async[:N] or process[:N]",
     )
     parser.add_argument("--max-batch", type=int, default=8)
     parser.add_argument("--max-wait-ms", type=float, default=2.0)
@@ -330,15 +330,27 @@ def build_frontend(args: argparse.Namespace):
     # importable without pulling the dataset/solver layers in.
     from repro.graph.datasets import load_dataset
     from repro.meloppr.solver import MeLoPPRSolver
-    from repro.serving.backends import make_backend
+    from repro.serving.backends import ProcessPoolBackend, make_backend
     from repro.serving.cache import SubgraphCache
     from repro.serving.engine import QueryEngine
 
     graph = load_dataset(args.dataset)
+    backend = make_backend(args.backend)
+    if getattr(backend, "executes_stage_tasks", False):
+        # Stage-task workers cache extractions themselves; an engine-level
+        # cache would never be consulted (the engine rejects it).  --no-cache
+        # therefore maps to the worker-side cache switch here.
+        cache = None
+        if args.no_cache and isinstance(backend, ProcessPoolBackend):
+            backend = ProcessPoolBackend(
+                num_workers=backend.num_workers, cache_bytes=None
+            )
+    else:
+        cache = None if args.no_cache else SubgraphCache()
     engine = QueryEngine(
         MeLoPPRSolver(graph),
-        backend=make_backend(args.backend),
-        cache=None if args.no_cache else SubgraphCache(),
+        backend=backend,
+        cache=cache,
     )
     policy = BatchPolicy(
         max_batch_size=args.max_batch,

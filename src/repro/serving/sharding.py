@@ -26,12 +26,17 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.graph.bfs import BFSResult, extract_ego_subgraph
 from repro.graph.csr import CSRGraph
-from repro.graph.partition import GraphPartition, GraphShard
+from repro.graph.partition import GraphPartition
 from repro.graph.subgraph import Subgraph
 from repro.serving.cache import DEFAULT_CACHE_BYTES, CacheStats, SubgraphCache
 from repro.utils.validation import check_node_id
 
-__all__ = ["ShardServingStats", "RouterStats", "ShardRouter"]
+__all__ = [
+    "ShardServingStats",
+    "RouterStats",
+    "ShardRouter",
+    "globalize_shard_extraction",
+]
 
 
 @dataclass(frozen=True)
@@ -151,14 +156,10 @@ class RouterStats:
             caches.append(self.fallback_cache)
         if not caches:
             return None
-        return CacheStats(
-            hits=sum(cache.hits for cache in caches),
-            misses=sum(cache.misses for cache in caches),
-            evictions=sum(cache.evictions for cache in caches),
-            rejected=sum(cache.rejected for cache in caches),
-            current_bytes=sum(cache.current_bytes for cache in caches),
-            num_entries=sum(cache.num_entries for cache in caches),
-        )
+        total = CacheStats()
+        for cache in caches:
+            total = total + cache
+        return total
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict form for JSON reports."""
@@ -278,8 +279,8 @@ class ShardRouter:
             if cached is not None:
                 return cached[0], cached[1], True
         shard = self._partition.shards[shard_id]
-        subgraph, bfs = _globalize_extraction(
-            self._partition.host, shard, center, depth
+        subgraph, bfs = globalize_shard_extraction(
+            self._partition.host.name, shard.subgraph, center, depth
         )
         if cache is not None:
             cache.put(center, depth, subgraph, bfs)
@@ -360,27 +361,32 @@ class ShardRouter:
         )
 
 
-def _globalize_extraction(
-    host: CSRGraph, shard: GraphShard, center: int, depth: int
+def globalize_shard_extraction(
+    host_name: str, shard_subgraph: Subgraph, center: int, depth: int
 ) -> Tuple[Subgraph, BFSResult]:
-    """Run the extraction on the shard sub-graph, translated to global ids.
+    """Run the extraction on a shard sub-graph, translated to global ids.
 
     The returned objects are indistinguishable from
     ``extract_ego_subgraph(host, center, depth)``: same relabelled CSR arrays,
     same global-id mapping, same BFS visit order and ``edges_scanned`` —
     guaranteed by the halo covering the full ego ball and by the shard's
     global ids being sorted ascending (see :mod:`repro.graph.partition`).
+
+    Takes the shard's :class:`~repro.graph.subgraph.Subgraph` (not the whole
+    :class:`~repro.graph.partition.GraphShard`) so process-pool workers, which
+    attach only the shard's shared CSR buffers, run the exact same code path
+    as the in-process :class:`ShardRouter`.
     """
-    shard_ids = shard.subgraph.global_ids
-    local_center = shard.subgraph.to_local(center)
+    shard_ids = shard_subgraph.global_ids
+    local_center = shard_subgraph.to_local(center)
     local_subgraph, local_bfs = extract_ego_subgraph(
-        shard.subgraph.graph, local_center, depth
+        shard_subgraph.graph, local_center, depth
     )
     ego_graph = local_subgraph.graph
     renamed = CSRGraph(
         ego_graph.indptr,
         ego_graph.indices,
-        name=f"{host.name}:G{depth}({int(center)})",
+        name=f"{host_name}:G{depth}({int(center)})",
     )
     subgraph = Subgraph(renamed, shard_ids[local_subgraph.global_ids])
     bfs = BFSResult(

@@ -1,0 +1,432 @@
+"""Shared-memory export of CSR graph buffers for process-pool serving.
+
+A process pool can only beat the thread pool if the workers do not each pay
+for (or copy) the host graph: the whole point of the paper's CSR layout is
+that a graph is three contiguous arrays, and contiguous arrays are exactly
+what :mod:`multiprocessing.shared_memory` shares for free.  This module owns
+that lifecycle:
+
+* :class:`SharedGraphHandle` — parent side.  ``export(graph)`` copies the CSR
+  arrays into named shared-memory segments once; :attr:`descriptor` is a tiny
+  picklable :class:`SharedGraphDescriptor` a worker can be handed at spawn.
+  ``close()`` detaches, ``unlink()`` frees the segments (idempotent; the
+  creator must unlink exactly once or ``/dev/shm`` leaks).
+* :class:`AttachedGraph` — worker side.  ``SharedGraphHandle.attach(desc)``
+  maps the segments and wraps them in a zero-copy :class:`CSRGraph` built
+  from ``np.frombuffer`` views — no per-worker copy of the graph, which is
+  the NUMA/memory story of the ROADMAP's process-pool item.
+* :class:`SharedShardHandle` / :class:`AttachedShard` — the same for one
+  shard of a :class:`~repro.graph.partition.GraphPartition`: the shard's
+  halo-extended CSR sub-graph plus its global-id map, so a worker pinned to
+  a shard holds only that shard's bytes.
+
+Segment names carry the :data:`SHM_PREFIX` prefix so leak checks (and the
+regression test guarding ``QueryEngine.__exit__`` error paths) can tell this
+library's segments apart from anything else in ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import GraphShard
+from repro.graph.subgraph import Subgraph
+
+__all__ = [
+    "SHM_PREFIX",
+    "SharedArraySpec",
+    "SharedGraphDescriptor",
+    "SharedShardDescriptor",
+    "SharedGraphHandle",
+    "SharedShardHandle",
+    "AttachedGraph",
+    "AttachedShard",
+    "leaked_segment_names",
+]
+
+#: Prefix of every shared-memory segment this library creates.
+SHM_PREFIX = "repro-shm"
+
+#: Where POSIX shared memory appears on Linux (used by the leak checker).
+_SHM_DIR = "/dev/shm"
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Where one numpy array lives in shared memory.
+
+    Attributes
+    ----------
+    segment:
+        Shared-memory segment name.
+    shape:
+        Array shape (always 1-D here, kept general for symmetry).
+    dtype:
+        Numpy dtype string (``"int64"``, ``"int32"``, ...).
+    """
+
+    segment: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def count(self) -> int:
+        """Number of elements."""
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count
+
+
+@dataclass(frozen=True)
+class SharedGraphDescriptor:
+    """Everything a worker needs to attach a shared :class:`CSRGraph`."""
+
+    graph_name: str
+    indptr: SharedArraySpec
+    indices: SharedArraySpec
+
+
+@dataclass(frozen=True)
+class SharedShardDescriptor:
+    """Everything a worker needs to attach one shard's sub-graph.
+
+    Attributes
+    ----------
+    shard_id:
+        The shard this descriptor exports.
+    host_name:
+        Name of the partitioned host graph (extractions embed it in the
+        returned sub-graph names, matching the host-graph extraction path).
+    halo_depth:
+        Hop radius of the halo; extractions up to this depth are shard-local.
+    graph:
+        The shard sub-graph's CSR arrays.
+    global_ids:
+        The shard-local → global node-id map.
+    """
+
+    shard_id: int
+    host_name: str
+    halo_depth: int
+    graph: SharedGraphDescriptor
+    global_ids: SharedArraySpec
+
+
+def _segment_name() -> str:
+    """A fresh, collision-resistant segment name with the library prefix."""
+    return f"{SHM_PREFIX}-{secrets.token_hex(6)}-{os.getpid()}"
+
+
+def _export_array(array: np.ndarray) -> Tuple[shared_memory.SharedMemory, SharedArraySpec]:
+    """Copy ``array`` into a new shared segment and describe it."""
+    array = np.ascontiguousarray(array)
+    # SharedMemory refuses zero-byte segments; a 1-byte segment backs an
+    # empty array just fine (the spec's count keeps the view empty).
+    segment = shared_memory.SharedMemory(
+        create=True, size=max(1, array.nbytes), name=_segment_name()
+    )
+    view = np.frombuffer(segment.buf, dtype=array.dtype, count=array.size)
+    view[:] = array.reshape(-1)
+    del view  # drop the buffer export so close() cannot be blocked by it
+    return segment, SharedArraySpec(
+        segment=segment.name, shape=tuple(array.shape), dtype=str(array.dtype)
+    )
+
+
+def _attach_array(spec: SharedArraySpec) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Map a described segment and return a read-only zero-copy view.
+
+    Attaching re-registers the segment with the resource tracker, which is
+    deliberate and harmless here: every attaching process is a child of the
+    creator, so they all share one tracker whose registry is a name *set* —
+    the re-add is a no-op and the creator's single ``unlink`` still clears
+    it.  (Unregistering on attach, the folklore workaround for *unrelated*
+    processes, would instead erase the creator's registration.)
+    """
+    segment = shared_memory.SharedMemory(name=spec.segment, create=False)
+    array = np.frombuffer(segment.buf, dtype=np.dtype(spec.dtype), count=spec.count)
+    array = array.reshape(spec.shape)
+    array.setflags(write=False)
+    return segment, array
+
+
+def _close_segments(segments: List[shared_memory.SharedMemory]) -> None:
+    """Best-effort detach: a still-exported buffer must not abort cleanup."""
+    for segment in segments:
+        try:
+            segment.close()
+        except BufferError:
+            # A numpy view of the buffer is still alive somewhere; the
+            # mapping is released when the view dies (or the process exits).
+            pass
+
+
+class SharedGraphHandle:
+    """Creator-side handle of a host graph exported to shared memory.
+
+    Create with :meth:`export`, hand :attr:`descriptor` to workers, and on
+    shutdown call :meth:`unlink` (or use the handle as a context manager) —
+    the segments outlive every attaching process until the creator unlinks
+    them, so forgetting this step leaks ``/dev/shm``.
+    """
+
+    def __init__(
+        self,
+        descriptor: SharedGraphDescriptor,
+        segments: List[shared_memory.SharedMemory],
+    ) -> None:
+        self._descriptor = descriptor
+        self._segments = segments
+        self._unlinked = False
+
+    @classmethod
+    def export(cls, graph: CSRGraph) -> "SharedGraphHandle":
+        """Copy ``graph``'s CSR arrays into fresh shared segments."""
+        segments: List[shared_memory.SharedMemory] = []
+        try:
+            indptr_segment, indptr_spec = _export_array(graph.indptr)
+            segments.append(indptr_segment)
+            indices_segment, indices_spec = _export_array(graph.indices)
+            segments.append(indices_segment)
+        except Exception:
+            for segment in segments:
+                segment.close()
+                segment.unlink()
+            raise
+        descriptor = SharedGraphDescriptor(
+            graph_name=graph.name, indptr=indptr_spec, indices=indices_spec
+        )
+        return cls(descriptor, segments)
+
+    @property
+    def descriptor(self) -> SharedGraphDescriptor:
+        """The picklable attachment recipe for workers."""
+        return self._descriptor
+
+    def nbytes(self) -> int:
+        """Bytes of shared memory held by this handle's segments."""
+        return sum(segment.size for segment in self._segments)
+
+    @staticmethod
+    def attach(descriptor: SharedGraphDescriptor) -> "AttachedGraph":
+        """Worker side: map the segments into a zero-copy :class:`CSRGraph`."""
+        segments: List[shared_memory.SharedMemory] = []
+        try:
+            indptr_segment, indptr = _attach_array(descriptor.indptr)
+            segments.append(indptr_segment)
+            indices_segment, indices = _attach_array(descriptor.indices)
+            segments.append(indices_segment)
+            graph = CSRGraph(indptr, indices, name=descriptor.graph_name)
+        except Exception:
+            _close_segments(segments)
+            raise
+        return AttachedGraph(graph=graph, segments=segments)
+
+    def close(self) -> None:
+        """Detach this process's mappings (idempotent)."""
+        _close_segments(self._segments)
+
+    def unlink(self) -> None:
+        """Free the segments system-wide (idempotent; creator-only)."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        self.close()
+        for segment in self._segments:
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already freed
+                pass
+
+    def __enter__(self) -> "SharedGraphHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        self.unlink()
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedGraphHandle(graph={self._descriptor.graph_name!r}, "
+            f"nbytes={self.nbytes()}, unlinked={self._unlinked})"
+        )
+
+
+class AttachedGraph:
+    """Worker-side view of a shared host graph (zero-copy)."""
+
+    def __init__(
+        self, graph: CSRGraph, segments: List[shared_memory.SharedMemory]
+    ) -> None:
+        self.graph = graph
+        self._segments = segments
+
+    def close(self) -> None:
+        """Detach the mappings (views into them must be dropped first)."""
+        _close_segments(self._segments)
+
+    def __enter__(self) -> "AttachedGraph":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        self.close()
+
+
+class SharedShardHandle:
+    """Creator-side handle of one shard's sub-graph in shared memory."""
+
+    def __init__(
+        self,
+        descriptor: SharedShardDescriptor,
+        graph_handle: SharedGraphHandle,
+        id_segment: shared_memory.SharedMemory,
+    ) -> None:
+        self._descriptor = descriptor
+        self._graph_handle = graph_handle
+        self._id_segment = id_segment
+        self._unlinked = False
+
+    @classmethod
+    def export(
+        cls, shard: GraphShard, host_name: str, halo_depth: int
+    ) -> "SharedShardHandle":
+        """Export a shard's halo-extended CSR sub-graph and id map."""
+        graph_handle = SharedGraphHandle.export(shard.subgraph.graph)
+        try:
+            id_segment, id_spec = _export_array(shard.subgraph.global_ids)
+        except Exception:
+            graph_handle.unlink()
+            raise
+        descriptor = SharedShardDescriptor(
+            shard_id=shard.shard_id,
+            host_name=host_name,
+            halo_depth=int(halo_depth),
+            graph=graph_handle.descriptor,
+            global_ids=id_spec,
+        )
+        return cls(descriptor, graph_handle, id_segment)
+
+    @property
+    def descriptor(self) -> SharedShardDescriptor:
+        """The picklable attachment recipe for workers."""
+        return self._descriptor
+
+    def nbytes(self) -> int:
+        """Bytes of shared memory held by this shard's segments."""
+        return self._graph_handle.nbytes() + self._id_segment.size
+
+    @staticmethod
+    def attach(descriptor: SharedShardDescriptor) -> "AttachedShard":
+        """Worker side: map the shard into a zero-copy :class:`Subgraph`."""
+        attached_graph = SharedGraphHandle.attach(descriptor.graph)
+        try:
+            id_segment, global_ids = _attach_array(descriptor.global_ids)
+        except Exception:
+            attached_graph.close()
+            raise
+        try:
+            subgraph = Subgraph(attached_graph.graph, global_ids)
+        except Exception:
+            _close_segments([id_segment])
+            attached_graph.close()
+            raise
+        return AttachedShard(
+            shard_id=descriptor.shard_id,
+            host_name=descriptor.host_name,
+            halo_depth=descriptor.halo_depth,
+            subgraph=subgraph,
+            attached_graph=attached_graph,
+            id_segment=id_segment,
+        )
+
+    def close(self) -> None:
+        """Detach this process's mappings (idempotent)."""
+        self._graph_handle.close()
+        _close_segments([self._id_segment])
+
+    def unlink(self) -> None:
+        """Free the segments system-wide (idempotent; creator-only)."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        self._graph_handle.unlink()
+        try:
+            self._id_segment.close()
+        except BufferError:  # pragma: no cover - exported view still alive
+            pass
+        try:
+            self._id_segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already freed
+            pass
+
+    def __enter__(self) -> "SharedShardHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        self.unlink()
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedShardHandle(shard={self._descriptor.shard_id}, "
+            f"host={self._descriptor.host_name!r}, nbytes={self.nbytes()})"
+        )
+
+
+class AttachedShard:
+    """Worker-side view of one shard (zero-copy sub-graph + id map)."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        host_name: str,
+        halo_depth: int,
+        subgraph: Subgraph,
+        attached_graph: AttachedGraph,
+        id_segment: shared_memory.SharedMemory,
+    ) -> None:
+        self.shard_id = shard_id
+        self.host_name = host_name
+        self.halo_depth = halo_depth
+        self.subgraph = subgraph
+        self._attached_graph = attached_graph
+        self._id_segment = id_segment
+
+    def close(self) -> None:
+        """Detach the mappings (views into them must be dropped first)."""
+        self._attached_graph.close()
+        _close_segments([self._id_segment])
+
+    def __enter__(self) -> "AttachedShard":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"AttachedShard(shard={self.shard_id}, host={self.host_name!r}, "
+            f"nodes={self.subgraph.num_nodes})"
+        )
+
+
+def leaked_segment_names(shm_dir: str = _SHM_DIR) -> List[str]:
+    """Names of this library's shared segments still present on the system.
+
+    The process-pool lifecycle tests assert this is empty after an engine
+    shuts down — including the failure paths — so a ``/dev/shm`` leak is a
+    test failure, not a slow surprise in production.  Returns an empty list
+    on platforms without a ``/dev/shm`` directory (the check is then simply
+    unavailable, not failing).
+    """
+    try:
+        entries = os.listdir(shm_dir)
+    except OSError:
+        return []
+    return sorted(entry for entry in entries if entry.startswith(SHM_PREFIX))

@@ -1,0 +1,165 @@
+"""Differential correctness: process-pool serving is bit-identical to serial.
+
+The process backend promises that moving stage tasks into worker processes
+(over shared-memory graph buffers) is a pure performance choice: every score
+must equal — bitwise, no tolerance — what the serial in-process path
+produces, with and without sharding, with worker caches on or off.  The grid
+covers those axes on a fixed graph; hypothesis drives random query mixes
+through one long-lived pool (workers persist across examples, exactly like a
+long-lived server).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.partition import partition_graph
+from repro.meloppr.solver import MeLoPPRSolver
+from repro.ppr.base import PPRQuery
+from repro.serving import ProcessPoolBackend, QueryEngine, ShardRouter
+
+
+def exact_scores(results):
+    """Per-query score dicts for bitwise comparison (no tolerance)."""
+    return [dict(result.scores.items()) for result in results]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert_graph(180, 2, rng=7, name="ba180-diff")
+
+
+@pytest.fixture(scope="module")
+def queries(graph):
+    seeds = [0, 7, 63, 7, 120, 0]
+    # Mixed lengths exercise one-stage, degenerate and multi-stage plans.
+    return [
+        PPRQuery(seed=seed, k=30, alpha=0.85, length=length)
+        for seed, length in zip(seeds, (6, 6, 3, 1, 0, 6))
+    ]
+
+
+@pytest.fixture(scope="module")
+def reference(graph, queries):
+    solver = MeLoPPRSolver(graph)
+    return exact_scores([solver.solve(query) for query in queries])
+
+
+class TestUnshardedGrid:
+    @pytest.mark.parametrize("num_workers", [1, 2, 3])
+    @pytest.mark.parametrize("cached", [False, True], ids=["cold", "cached"])
+    def test_bit_identical_scores(self, graph, queries, reference, num_workers, cached):
+        backend = ProcessPoolBackend(
+            num_workers=num_workers, cache_bytes=(32 << 20) if cached else None
+        )
+        with QueryEngine(MeLoPPRSolver(graph), backend=backend) as engine:
+            results = engine.solve_batch(queries)
+            stats = engine.stats()
+        assert exact_scores(results) == reference
+        assert stats.backend == "process-pool"
+        assert stats.queries_served == len(queries)
+        for result in results:
+            serving = result.metadata["serving"]
+            assert serving["backend"] == "process-pool"
+            assert serving["remote_tasks"] is True
+            assert serving["cache_enabled"] is cached
+
+    def test_repeated_batches_reuse_workers(self, graph, queries, reference):
+        backend = ProcessPoolBackend(num_workers=2)
+        with QueryEngine(MeLoPPRSolver(graph), backend=backend) as engine:
+            first = engine.solve_batch(queries)
+            workers = list(backend._workers)
+            second = engine.solve_batch(queries)
+            assert backend._workers == workers  # persistent pool, no respawn
+        assert exact_scores(first) == reference
+        assert exact_scores(second) == reference
+
+
+class TestShardedGrid:
+    @pytest.mark.parametrize("strategy", ["hash", "range", "degree"])
+    @pytest.mark.parametrize("num_shards", [2, 5])
+    def test_bit_identical_scores(self, graph, queries, reference, strategy, num_shards):
+        partition = partition_graph(graph, num_shards, strategy=strategy, halo_depth=3)
+        router = ShardRouter(partition)
+        backend = ProcessPoolBackend(num_workers=2)
+        with QueryEngine(MeLoPPRSolver(graph), backend=backend, router=router) as engine:
+            results = engine.solve_batch(queries)
+            stats = engine.stats()
+        assert exact_scores(results) == reference
+        assert stats.router is not None
+        for result in results:
+            assert result.metadata["serving"]["sharded"] is True
+
+    def test_fallback_beyond_halo_bit_identical(self, graph, queries, reference):
+        # halo 1 < stage length 3: every deep extraction is proxied to the
+        # parent (router fallback cache) while workers stay idle — answers
+        # still must not move.
+        partition = partition_graph(graph, 3, strategy="hash", halo_depth=1)
+        router = ShardRouter(partition)
+        backend = ProcessPoolBackend(num_workers=2)
+        with QueryEngine(MeLoPPRSolver(graph), backend=backend, router=router) as engine:
+            results = engine.solve_batch(queries)
+            stats = engine.stats()
+        assert exact_scores(results) == reference
+        assert stats.router.fallback_extractions > 0
+        assert stats.router.fallback_rate == 1.0
+
+    def test_mixed_local_and_fallback_depths(self, graph):
+        # halo 2 serves length<=2 tasks shard-locally; length-3 stages fall
+        # back — one batch exercises both executors side by side.
+        partition = partition_graph(graph, 2, strategy="range", halo_depth=2)
+        router = ShardRouter(partition)
+        backend = ProcessPoolBackend(num_workers=2)
+        queries = [
+            PPRQuery(seed=seed, k=25, length=length)
+            for seed, length in ((3, 4), (90, 6), (3, 2))
+        ]
+        solver = MeLoPPRSolver(graph)
+        expected = exact_scores([solver.solve(query) for query in queries])
+        with QueryEngine(MeLoPPRSolver(graph), backend=backend, router=router) as engine:
+            results = engine.solve_batch(queries)
+            stats = engine.stats()
+        assert exact_scores(results) == expected
+        assert stats.router.fallback_extractions > 0
+
+
+class TestPropertyBased:
+    """Random query mixes through one long-lived pool (fork once per module)."""
+
+    @pytest.fixture(scope="class")
+    def served(self, graph):
+        backend = ProcessPoolBackend(num_workers=2)
+        engine = QueryEngine(MeLoPPRSolver(graph), backend=backend)
+        yield engine
+        engine.close()
+
+    @pytest.fixture(scope="class")
+    def serial_solver(self, graph):
+        return MeLoPPRSolver(graph)
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(data=st.data())
+    def test_random_query_mixes_bit_identical(self, served, serial_solver, graph, data):
+        seeds = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=graph.num_nodes - 1),
+                min_size=1,
+                max_size=5,
+            )
+        )
+        length = data.draw(st.sampled_from([0, 1, 2, 4, 6]))
+        alpha = data.draw(st.sampled_from([0.5, 0.85, 0.99]))
+        k = data.draw(st.integers(min_value=1, max_value=40))
+        queries = [
+            PPRQuery(seed=seed, k=k, alpha=alpha, length=length) for seed in seeds
+        ]
+        expected = exact_scores([serial_solver.solve(query) for query in queries])
+        assert exact_scores(served.solve_batch(queries)) == expected

@@ -1,0 +1,201 @@
+"""Smoke and schema tests for the E12 process study and its bench/gate tools.
+
+The process benchmark promises the same JSON contract as the other serving
+benchmarks (a ``runs`` list with ``label``/``throughput_qps``), which is what
+lets ``benchmarks/check_regression.py`` gate all of them uniformly — so the
+study schema and the regression checker are tested side by side here.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.process_study import format_process, run_process_study
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def load_bench_module(name):
+    """Import a benchmark script by file path (benchmarks/ is not a package)."""
+    spec = importlib.util.spec_from_file_location(name, BENCH_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestProcessStudySchema:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_process_study(num_seeds=2, repeat_factor=2, worker_counts=(2,))
+
+    def test_runs_cover_the_sweep(self, study):
+        labels = [run.label for run in study.runs]
+        assert labels == ["serial", "thread:2", "process:2"]
+        assert study.baseline.label == "serial"
+        assert study.by_label()["process:2"].backend == "process-pool"
+
+    def test_speedups_are_relative_to_serial_and_threads(self, study):
+        runs = study.by_label()
+        assert runs["serial"].speedup_vs_serial == 1.0
+        assert runs["serial"].speedup_vs_threads is None
+        assert runs["thread:2"].speedup_vs_threads is None
+        process = runs["process:2"]
+        assert process.speedup_vs_serial > 0.0
+        assert process.speedup_vs_threads is not None
+        assert process.speedup_vs_threads == pytest.approx(
+            process.throughput_qps / runs["thread:2"].throughput_qps
+        )
+
+    def test_as_dict_schema(self, study):
+        payload = study.as_dict()
+        assert set(payload) == {
+            "dataset",
+            "num_seeds",
+            "repeat_factor",
+            "k",
+            "worker_counts",
+            "runs",
+        }
+        for run in payload["runs"]:
+            assert set(run) == {
+                "label",
+                "backend",
+                "workers",
+                "num_queries",
+                "wall_seconds",
+                "throughput_qps",
+                "mean_latency_seconds",
+                "cache_hit_rate",
+                "speedup_vs_serial",
+                "speedup_vs_threads",
+            }
+            assert run["throughput_qps"] > 0.0
+        document = json.dumps(payload)
+        assert '"throughput_qps"' in document
+
+    def test_format_renders_every_run(self, study):
+        table = format_process(study)
+        assert "E12" in table
+        for run in study.runs:
+            assert run.label in table
+
+
+class TestProcessBenchScript:
+    def test_bench_json_contract(self):
+        bench = load_bench_module("bench_process_serving")
+        study = bench.run_benchmark(num_seeds=2, repeat_factor=2, worker_counts=(2,))
+        payload = json.loads(bench.study_json(study))
+        assert [run["label"] for run in payload["runs"]] == [
+            "serial",
+            "thread:2",
+            "process:2",
+        ]
+
+
+class TestCheckRegression:
+    @pytest.fixture(scope="class")
+    def checker(self):
+        return load_bench_module("check_regression")
+
+    @pytest.fixture()
+    def report(self):
+        return {
+            "runs": [
+                {"label": "serial", "throughput_qps": 100.0},
+                {"label": "process:2", "throughput_qps": 300.0},
+            ]
+        }
+
+    def test_extract_metrics(self, checker, report):
+        assert checker.extract_metrics(report) == {
+            "serial": 100.0,
+            "process:2": 300.0,
+        }
+        with pytest.raises(ValueError, match="runs"):
+            checker.extract_metrics({})
+        with pytest.raises(ValueError, match="throughput_qps"):
+            checker.extract_metrics({"runs": [{"label": "x"}]})
+
+    def test_min_of_repeats_takes_best(self, checker, report):
+        noisy = {
+            "runs": [
+                {"label": "serial", "throughput_qps": 40.0},  # noisy dip
+                {"label": "process:2", "throughput_qps": 310.0},
+            ]
+        }
+        best = checker.best_metrics([noisy, report])
+        assert best == {"serial": 100.0, "process:2": 310.0}
+
+    def test_within_tolerance_passes(self, checker):
+        checks = checker.check_metrics(
+            {"serial": 100.0}, {"serial": 80.0}, tolerance=0.30
+        )
+        assert all(check.passed for check in checks)
+
+    def test_regression_beyond_tolerance_fails(self, checker):
+        checks = checker.check_metrics(
+            {"serial": 100.0}, {"serial": 50.0}, tolerance=0.30
+        )
+        assert not checks[0].passed
+        assert checks[0].ratio == pytest.approx(0.5)
+
+    def test_missing_configuration_fails(self, checker):
+        checks = checker.check_metrics({"serial": 100.0}, {}, tolerance=0.30)
+        assert not checks[0].passed
+        assert checks[0].candidate_qps is None
+        # A newly added configuration (candidate-only) is not gated yet.
+        checks = checker.check_metrics(
+            {"serial": 100.0}, {"serial": 100.0, "new": 5.0}
+        )
+        assert len(checks) == 1
+
+    def test_cli_gate_and_synthetic_slowdown(self, checker, report, tmp_path, capsys):
+        run_path = tmp_path / "run.json"
+        run_path.write_text(json.dumps(report))
+        baseline_path = tmp_path / "baseline.json"
+
+        # 1. Write the baseline from a measured report.
+        assert (
+            checker.main(
+                ["--baseline", str(baseline_path), "--update", str(run_path)]
+            )
+            == 0
+        )
+        baseline = json.loads(baseline_path.read_text())
+        assert baseline["metrics"] == {"serial": 100.0, "process:2": 300.0}
+
+        # 2. The gate passes on the same numbers.
+        assert checker.main(["--baseline", str(baseline_path), str(run_path)]) == 0
+        assert "all 2 configurations" in capsys.readouterr().out
+
+        # 3. A synthetic 2x slowdown trips the gate (exit code 1).
+        slow = {
+            "runs": [
+                {"label": run["label"], "throughput_qps": run["throughput_qps"] / 2}
+                for run in report["runs"]
+            ]
+        }
+        slow_path = tmp_path / "slow.json"
+        slow_path.write_text(json.dumps(slow))
+        assert checker.main(["--baseline", str(baseline_path), str(slow_path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "regressed" in out
+
+    def test_committed_baselines_match_gated_benchmarks(self, checker):
+        # Every gated benchmark has a committed baseline with plausible content.
+        for name in ("serving", "sharded", "async", "process"):
+            path = BENCH_DIR / "baselines" / f"{name}.json"
+            document = json.loads(path.read_text())
+            assert document["metrics"], f"{name} baseline has no metrics"
+            for value in document["metrics"].values():
+                assert value > 0.0
+
+    def test_tolerance_validation(self, checker):
+        with pytest.raises(ValueError, match="tolerance"):
+            checker.check_metrics({"a": 1.0}, {"a": 1.0}, tolerance=1.5)

@@ -171,6 +171,27 @@ class TestCloseWithPending:
         engine.close()
         engine.close()
 
+    def test_failed_close_still_releases_backend(self, solver, queries):
+        # Regression (ISSUE 4): the pending-queries error must not leave the
+        # backend's OS resources (threads, worker processes, shared memory)
+        # alive — close() releases the backend in a finally.
+        class RecordingBackend(SerialBackend):
+            closed = 0
+
+            def close(self):
+                self.closed += 1
+
+        backend = RecordingBackend()
+        engine = QueryEngine(solver, backend=backend)
+        engine.submit(queries[0])
+        with pytest.raises(RuntimeError, match="pending"):
+            engine.close()
+        assert backend.closed == 1
+        # The queue survives: draining still answers the query.
+        assert len(engine.drain()) == 1
+        engine.close()
+        assert backend.closed == 2
+
 
 class TestStats:
     def test_engine_stats_populated(self, solver, queries):

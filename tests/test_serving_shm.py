@@ -1,0 +1,197 @@
+"""Shared-memory graph export/attach lifecycle (repro.serving.shm)."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.partition import partition_graph
+from repro.serving.shm import (
+    SHM_PREFIX,
+    SharedGraphHandle,
+    SharedShardHandle,
+    leaked_segment_names,
+)
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="POSIX shared memory not available"
+)
+
+
+class TestSharedGraphHandle:
+    def test_round_trip_is_equal_and_named(self, small_ba_graph):
+        with SharedGraphHandle.export(small_ba_graph) as handle:
+            attached = SharedGraphHandle.attach(handle.descriptor)
+            graph = attached.graph
+            assert graph.name == small_ba_graph.name
+            assert np.array_equal(graph.indptr, small_ba_graph.indptr)
+            assert np.array_equal(graph.indices, small_ba_graph.indices)
+            # The attached arrays are views into the segments, not copies.
+            assert not graph.indptr.flags.owndata
+            assert not graph.indices.flags.owndata
+            assert not graph.indptr.flags.writeable
+            del graph
+            attached.close()
+
+    def test_descriptor_is_picklable(self, small_ba_graph):
+        with SharedGraphHandle.export(small_ba_graph) as handle:
+            descriptor = pickle.loads(pickle.dumps(handle.descriptor))
+            assert descriptor == handle.descriptor
+            attached = SharedGraphHandle.attach(descriptor)
+            assert attached.graph.num_edges == small_ba_graph.num_edges
+            del attached
+
+    def test_segments_visible_then_unlinked(self, small_ba_graph):
+        handle = SharedGraphHandle.export(small_ba_graph)
+        names = [handle.descriptor.indptr.segment, handle.descriptor.indices.segment]
+        assert all(name.startswith(SHM_PREFIX) for name in names)
+        on_disk = leaked_segment_names()
+        assert all(name in on_disk for name in names)
+        handle.unlink()
+        on_disk = leaked_segment_names()
+        assert all(name not in on_disk for name in names)
+
+    def test_unlink_idempotent(self, small_ba_graph):
+        handle = SharedGraphHandle.export(small_ba_graph)
+        handle.unlink()
+        handle.unlink()
+        handle.close()
+
+    def test_edgeless_graph_round_trips(self):
+        graph = CSRGraph(np.zeros(4, dtype=np.int64), np.empty(0, dtype=np.int32), name="iso3")
+        with SharedGraphHandle.export(graph) as handle:
+            attached = SharedGraphHandle.attach(handle.descriptor)
+            assert attached.graph.num_nodes == 3
+            assert attached.graph.num_edges == 0
+            del attached
+
+    def test_nbytes_covers_arrays(self, small_ba_graph):
+        with SharedGraphHandle.export(small_ba_graph) as handle:
+            assert handle.nbytes() >= small_ba_graph.nbytes()
+            assert "SharedGraphHandle" in repr(handle)
+
+    def test_attached_close_is_safe_with_live_views(self, small_ba_graph):
+        with SharedGraphHandle.export(small_ba_graph) as handle:
+            attached = SharedGraphHandle.attach(handle.descriptor)
+            graph = attached.graph
+            # Views are still alive: close() must degrade gracefully (the
+            # mapping is released when the views die), never raise.
+            attached.close()
+            assert graph.num_nodes == small_ba_graph.num_nodes
+            del graph
+            attached.close()
+
+    def test_attach_context_manager(self, small_ba_graph):
+        with SharedGraphHandle.export(small_ba_graph) as handle:
+            with SharedGraphHandle.attach(handle.descriptor) as attached:
+                nodes = attached.graph.num_nodes
+            assert nodes == small_ba_graph.num_nodes
+
+    def test_export_failure_leaks_nothing(self, small_ba_graph, monkeypatch):
+        # If exporting the second array fails, the first segment must be
+        # unlinked on the way out — a partial export must not leak /dev/shm.
+        import repro.serving.shm as shm_module
+
+        before = set(leaked_segment_names())
+        real = shm_module._export_array
+        calls = {"n": 0}
+
+        def failing(array):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise OSError("synthetic export failure")
+            return real(array)
+
+        monkeypatch.setattr(shm_module, "_export_array", failing)
+        with pytest.raises(OSError, match="synthetic"):
+            SharedGraphHandle.export(small_ba_graph)
+        assert set(leaked_segment_names()) - before == set()
+
+
+class TestSharedShardHandle:
+    @pytest.fixture(scope="class")
+    def partition(self):
+        graph = barabasi_albert_graph(120, 2, rng=9, name="ba120")
+        return partition_graph(graph, 3, strategy="hash", halo_depth=2)
+
+    def test_round_trip_matches_shard(self, partition):
+        shard = partition.shards[1]
+        with SharedShardHandle.export(shard, partition.host.name, partition.halo_depth) as handle:
+            attached = SharedShardHandle.attach(handle.descriptor)
+            assert attached.shard_id == 1
+            assert attached.host_name == partition.host.name
+            assert attached.halo_depth == partition.halo_depth
+            assert np.array_equal(
+                attached.subgraph.global_ids, shard.subgraph.global_ids
+            )
+            assert np.array_equal(
+                attached.subgraph.graph.indptr, shard.subgraph.graph.indptr
+            )
+            assert np.array_equal(
+                attached.subgraph.graph.indices, shard.subgraph.graph.indices
+            )
+            # The id map works on the attached copy too.
+            some_global = int(shard.subgraph.global_ids[0])
+            assert attached.subgraph.to_local(some_global) == 0
+            assert "AttachedShard" in repr(attached)
+            subgraph = attached.subgraph
+            with attached:  # close via context manager, views still alive
+                pass
+            del subgraph
+            attached.close()
+
+    def test_shard_handle_close_detaches(self, partition):
+        shard = partition.shards[2]
+        handle = SharedShardHandle.export(shard, partition.host.name, partition.halo_depth)
+        try:
+            handle.close()  # creator detach only; segments must survive
+            attached = SharedShardHandle.attach(handle.descriptor)
+            assert attached.subgraph.num_nodes == shard.subgraph.num_nodes
+            del attached
+        finally:
+            handle.unlink()
+
+    def test_shard_export_failure_leaks_nothing(self, partition, monkeypatch):
+        import repro.serving.shm as shm_module
+
+        before = set(leaked_segment_names())
+
+        def failing(array):
+            if array.dtype == np.int64 and array.ndim == 1 and array is partition.shards[0].subgraph.global_ids:
+                raise OSError("synthetic id export failure")
+            return real(array)
+
+        real = shm_module._export_array
+        monkeypatch.setattr(shm_module, "_export_array", failing)
+        with pytest.raises(OSError, match="synthetic"):
+            SharedShardHandle.export(
+                partition.shards[0], partition.host.name, partition.halo_depth
+            )
+        assert set(leaked_segment_names()) - before == set()
+
+    def test_descriptor_picklable_and_unlink(self, partition):
+        shard = partition.shards[0]
+        handle = SharedShardHandle.export(shard, partition.host.name, partition.halo_depth)
+        descriptor = pickle.loads(pickle.dumps(handle.descriptor))
+        assert descriptor.shard_id == 0
+        assert handle.nbytes() > 0
+        assert "SharedShardHandle" in repr(handle)
+        handle.unlink()
+        handle.unlink()
+        assert descriptor.graph.indptr.segment not in leaked_segment_names()
+
+
+class TestLeakChecker:
+    def test_missing_dir_is_empty(self):
+        assert leaked_segment_names("/no/such/dir") == []
+
+    def test_ignores_foreign_segments(self, small_ba_graph, tmp_path):
+        (tmp_path / "somethingelse").write_bytes(b"x")
+        assert leaked_segment_names(str(tmp_path)) == []
+        (tmp_path / f"{SHM_PREFIX}-deadbeef").write_bytes(b"x")
+        assert leaked_segment_names(str(tmp_path)) == [f"{SHM_PREFIX}-deadbeef"]
