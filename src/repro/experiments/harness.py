@@ -21,6 +21,7 @@ from repro.experiments.fig7_tradeoff import format_fig7, run_fig7
 from repro.experiments.latency_study import format_latency, run_latency_study
 from repro.experiments.process_study import format_process, run_process_study
 from repro.experiments.quantization_study import format_quantization, run_quantization_study
+from repro.experiments.result_cache_study import format_result_cache, run_result_cache_study
 from repro.experiments.score_table_study import format_score_table, run_score_table_study
 from repro.experiments.serving_study import format_serving, run_serving_study
 from repro.experiments.sharding_study import format_sharding, run_sharding_study
@@ -123,6 +124,13 @@ def run_all(profile: ExperimentProfile = QUICK_PROFILE) -> Dict[str, str]:
             num_seeds=profile.num_seeds_small,
             repeat_factor=3,
             worker_counts=(2,) if profile.name == "quick" else (2, 4),
+        )
+    )
+    reports["E13_result_cache"] = format_result_cache(
+        run_result_cache_study(
+            num_queries=16 * profile.num_seeds_small,
+            num_seeds=2 * profile.num_seeds_small,
+            skews=(0.0, 1.1) if profile.name == "quick" else (0.0, 0.6, 1.1, 1.5),
         )
     )
     return reports

@@ -13,6 +13,7 @@ self-loops and removes duplicates.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Optional, Tuple
 
 import numpy as np
@@ -45,7 +46,7 @@ class CSRGraph:
     this constructor with hand-built arrays.
     """
 
-    __slots__ = ("_indptr", "_indices", "_name")
+    __slots__ = ("_indptr", "_indices", "_name", "_fingerprint")
 
     def __init__(
         self,
@@ -75,6 +76,7 @@ class CSRGraph:
         self._name = str(name)
         self._indptr.setflags(write=False)
         self._indices.setflags(write=False)
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -217,6 +219,30 @@ class CSRGraph:
     def nbytes(self) -> int:
         """Bytes used by the CSR arrays (the CPU-side storage of the graph)."""
         return int(self._indptr.nbytes + self._indices.nbytes)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Structural digest of the CSR arrays (hex, 32 chars).
+
+        Two graphs have the same fingerprint exactly when their ``indptr``
+        and ``indices`` arrays are equal — the name is deliberately excluded,
+        so a rebuilt graph with identical structure fingerprints the same
+        while any topology change (added edge, relabelling, repartition
+        rebuild) produces a different digest.  Serving-layer caches key on
+        this to guarantee a derived artefact (an extraction, a folded score
+        table) is never served against a different topology.
+
+        Computed lazily and memoised: the arrays are immutable, so the hash
+        is paid once per graph, not once per cache lookup.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(self._indptr.data)
+            digest.update(self._indices.data)
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Dunder methods

@@ -16,13 +16,40 @@ measuring the precision loss attributable to the bound (the E7 study).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.diffusion.sparse_vector import SparseScoreVector
 
-__all__ = ["GlobalScoreTable"]
+__all__ = ["GlobalScoreTable", "ScoreTableSnapshot"]
+
+
+@dataclass(frozen=True)
+class ScoreTableSnapshot:
+    """Immutable copy of a :class:`GlobalScoreTable`'s full state.
+
+    Captures everything :meth:`GlobalScoreTable.from_snapshot` needs to
+    rebuild a table that behaves **bit-identically** to the original from
+    that point on: the stored and evicted entries *in insertion order* (the
+    eviction scan is order-independent, but preserving order keeps the
+    restored table indistinguishable), the capacity/eviction mode, and the
+    bookkeeping counters.  The serving layer caches these snapshots to resume
+    multi-stage plans past their first stage (cross-query score-table reuse).
+    """
+
+    capacity: Optional[int]
+    evictions_are_final: bool
+    scores: Tuple[Tuple[int, float], ...]
+    evicted: Tuple[Tuple[int, float], ...]
+    total_updates: int
+    total_evictions: int
+
+    @property
+    def num_entries(self) -> int:
+        """Stored entries at snapshot time."""
+        return len(self.scores)
 
 
 class GlobalScoreTable:
@@ -107,6 +134,37 @@ class GlobalScoreTable:
         self._total_evictions += 1
         if not self._evictions_are_final:
             self._evicted[victim] = self._evicted.get(victim, 0.0) + value
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ScoreTableSnapshot:
+        """Freeze the table's full state into a :class:`ScoreTableSnapshot`."""
+        return ScoreTableSnapshot(
+            capacity=self._capacity,
+            evictions_are_final=self._evictions_are_final,
+            scores=tuple(self._scores.items()),
+            evicted=tuple(self._evicted.items()),
+            total_updates=self._total_updates,
+            total_evictions=self._total_evictions,
+        )
+
+    @classmethod
+    def from_snapshot(cls, snapshot: ScoreTableSnapshot) -> "GlobalScoreTable":
+        """Rebuild a table whose future behaviour is bit-identical.
+
+        The restored table holds the same entries in the same insertion
+        order, the same evicted-mass ledger and the same counters, so any
+        sequence of :meth:`add` calls produces exactly the folds, evictions
+        and final ranking the original table would have produced.
+        """
+        table = cls(
+            capacity=snapshot.capacity,
+            evictions_are_final=snapshot.evictions_are_final,
+        )
+        table._scores = dict(snapshot.scores)
+        table._evicted = dict(snapshot.evicted)
+        table._total_updates = snapshot.total_updates
+        table._total_evictions = snapshot.total_evictions
+        return table
 
     # ------------------------------------------------------------------
     def get(self, node: int, default: float = 0.0) -> float:

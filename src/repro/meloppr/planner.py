@@ -39,7 +39,7 @@ from repro.graph.bfs import BFSResult, extract_ego_subgraph
 from repro.graph.csr import CSRGraph
 from repro.graph.subgraph import Subgraph
 from repro.memory.tracker import MemoryTracker
-from repro.meloppr.aggregation import GlobalScoreTable
+from repro.meloppr.aggregation import GlobalScoreTable, ScoreTableSnapshot
 from repro.meloppr.config import MeLoPPRConfig
 from repro.meloppr.stage import StagePlan, split_length
 from repro.ppr.base import PPRQuery, PPRResult
@@ -49,6 +49,7 @@ __all__ = [
     "StageTask",
     "StageTaskOutcome",
     "StageTaskRecord",
+    "StageOneState",
     "MeLoPPRPlan",
     "ExtractFn",
     "default_extract",
@@ -141,6 +142,36 @@ class StageTaskOutcome:
     bfs: BFSResult
     diffusion: DiffusionResult
     cache_hit: bool = False
+
+
+@dataclass(frozen=True)
+class StageOneState:
+    """The folded outcome of a query's first stage — a plan resume point.
+
+    Everything :meth:`MeLoPPRPlan.from_stage_one_table` needs to rebuild a
+    plan *as if* stage one had just completed: the score table after folding
+    the stage-one diffusion and applying the Eq. 6 corrections, the selected
+    next-stage work list, the stage-one task records and the modelled-memory
+    bookkeeping.  Stage one is a pure function of
+    ``(graph, seed, stage split, alpha, table capacity, selector)``, so a
+    cached state replayed through a fresh plan yields **bit-identical**
+    scores — the serving layer's cross-query result cache
+    (:class:`repro.serving.result_cache.ScoreTableCache`) stores these.
+
+    The dataclass is deeply immutable (tuples of primitives and frozen
+    records), so one cached instance can resume any number of plans on any
+    number of threads concurrently.
+    """
+
+    stage_lengths: Tuple[int, ...]
+    alpha: float
+    table: ScoreTableSnapshot
+    next_work: Tuple[Tuple[int, float], ...]
+    records: Tuple[StageTaskRecord, ...]
+    cache_hits: int
+    cache_misses: int
+    peak_subgraph_bytes: int
+    done: bool
 
 
 #: Extraction hook signature: ``(graph, center, depth) -> (subgraph, bfs, hit)``.
@@ -250,8 +281,70 @@ class MeLoPPRPlan:
         self._cache_misses = 0
 
         self._stage_index = 0
+        self._stages_completed = 0
+        self._resumed = False
         self._work: List[Tuple[int, float]] = [(query.seed, 1.0)]
         self._done = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_stage_one_table(
+        cls,
+        graph: CSRGraph,
+        config: MeLoPPRConfig,
+        query: PPRQuery,
+        state: StageOneState,
+        track_memory: Optional[bool] = None,
+    ) -> "MeLoPPRPlan":
+        """Build a plan resuming *after* stage one from a cached state.
+
+        The returned plan's :attr:`pending_tasks` are the stage-two tasks the
+        original plan would have published (or the plan is already
+        :attr:`done` for single-stage decompositions), and driving it to
+        completion produces scores bit-identical to executing the query from
+        scratch — stage one's fold, correction and selection are replayed
+        from ``state`` instead of recomputed.
+
+        Raises ``ValueError`` when ``state`` does not describe this exact
+        ``(query, config, graph-independent plan shape)``: the realised stage
+        split, alpha and score-table capacity must all match, because a
+        table folded under different parameters is a different computation.
+        Callers caching states key them accordingly (see
+        :func:`repro.serving.result_cache.stage_one_cache_key`, which also
+        keys on the graph's fingerprint — this constructor cannot tell two
+        topologies apart and trusts the caller on that axis).
+        """
+        plan = cls(graph, config, query, track_memory=track_memory)
+        realised = tuple(plan._stage_plan.stage_lengths)
+        if state.stage_lengths != realised:
+            raise ValueError(
+                f"stage-one state was folded under stage split "
+                f"{state.stage_lengths}, but this query realises {realised}"
+            )
+        if state.alpha != query.alpha:
+            raise ValueError(
+                f"stage-one state was folded with alpha={state.alpha}, "
+                f"query has alpha={query.alpha}"
+            )
+        capacity = config.score_table_capacity(query.k)
+        if state.table.capacity != capacity:
+            raise ValueError(
+                f"stage-one state's table capacity {state.table.capacity} "
+                f"does not match this query's {capacity}"
+            )
+        plan._table = GlobalScoreTable.from_snapshot(state.table)
+        plan._records = list(state.records)
+        plan._cache_hits = state.cache_hits
+        plan._cache_misses = state.cache_misses
+        plan._peak_subgraph_bytes = state.peak_subgraph_bytes
+        plan._stage_index = 1
+        plan._stages_completed = 1
+        plan._resumed = True
+        plan._work = [(int(node), float(weight)) for node, weight in state.next_work]
+        if state.done or not plan._work:
+            plan._done = True
+            plan._work = []
+        return plan
 
     # ------------------------------------------------------------------
     @property
@@ -263,6 +356,16 @@ class MeLoPPRPlan:
     def graph(self) -> CSRGraph:
         """The host graph tasks are extracted from."""
         return self._graph
+
+    @property
+    def config(self) -> MeLoPPRConfig:
+        """The solver configuration the plan was built under."""
+        return self._config
+
+    @property
+    def resumed(self) -> bool:
+        """Whether this plan was restored from a cached stage-one state."""
+        return self._resumed
 
     @property
     def stage_plan(self) -> StagePlan:
@@ -369,6 +472,7 @@ class MeLoPPRPlan:
                 f"stage {self._stage_index} expected {expected} outcomes, "
                 f"got {folded}"
             )
+        self._stages_completed += 1
 
         if is_last_stage:
             self._finish_planning()
@@ -401,6 +505,39 @@ class MeLoPPRPlan:
         self._stage_index += 1
         if not self._work:
             self._finish_planning()
+
+    def stage_one_state(self) -> StageOneState:
+        """Snapshot the plan's state right after its first stage completed.
+
+        Valid exactly when one stage has been folded and the plan started
+        from scratch (a resumed plan refuses — its snapshot would be a copy
+        of the state it was built from).  The engine's result cache calls
+        this immediately after the first :meth:`complete_stage` returns,
+        before any stage-two outcome mutates the table.
+        """
+        if self._resumed:
+            raise RuntimeError(
+                "plan was resumed from a cached stage-one state; snapshot "
+                "the original execution instead"
+            )
+        if self._stages_completed != 1:
+            raise RuntimeError(
+                f"stage-one state is only defined right after the first "
+                f"stage completes ({self._stages_completed} stages done)"
+            )
+        return StageOneState(
+            stage_lengths=tuple(self._stage_plan.stage_lengths),
+            alpha=float(self._query.alpha),
+            table=self._table.snapshot(),
+            next_work=tuple(
+                (int(node), float(weight)) for node, weight in self._work
+            ),
+            records=tuple(self._records),
+            cache_hits=self._cache_hits,
+            cache_misses=self._cache_misses,
+            peak_subgraph_bytes=self._peak_subgraph_bytes,
+            done=self._done,
+        )
 
     def _finish_planning(self) -> None:
         """Mark the plan complete and stop the memory tracker."""
@@ -502,14 +639,27 @@ def execute_stage_task(
     )
 
 
-def execute_plan(plan: MeLoPPRPlan, extract: Optional[ExtractFn] = None) -> PPRResult:
-    """Drive a plan to completion with the serial reference executor."""
+def execute_plan(
+    plan: MeLoPPRPlan,
+    extract: Optional[ExtractFn] = None,
+    after_stage: Optional[Callable[[MeLoPPRPlan], None]] = None,
+) -> PPRResult:
+    """Drive a plan to completion with the serial reference executor.
+
+    ``after_stage`` (optional) is invoked with the plan after each completed
+    stage — the serving engine's in-process path reuses this exact loop and
+    hooks its cross-query result cache there (snapshotting
+    :meth:`MeLoPPRPlan.stage_one_state` after the first stage), so there is
+    one serial drive loop in the library, not two hand-synchronised copies.
+    """
     try:
         while not plan.done:
             plan.complete_stage(
                 execute_stage_task(plan.graph, task, extract=extract, timing=plan.timing)
                 for task in plan.pending_tasks
             )
+            if after_stage is not None:
+                after_stage(plan)
     finally:
         plan.close()
     return plan.finish()

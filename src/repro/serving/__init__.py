@@ -2,8 +2,10 @@
 
 This package is the engine layer between the PPR solvers and callers with
 traffic: it batches queries (:class:`QueryEngine`), reuses BFS extractions
-across them (:class:`SubgraphCache`), routes extractions to the shard owning
-them (:class:`ShardRouter` over a
+across them (:class:`SubgraphCache`), reuses folded stage-one score tables
+across repeated hot-seed queries (:class:`ScoreTableCache` — a cache hit
+skips straight to the stage-two tasks, bit-identically), routes extractions
+to the shard owning them (:class:`ShardRouter` over a
 :class:`~repro.graph.partition.GraphPartition`, one cache per shard) and runs
 the per-query work on a pluggable :class:`ExecutionBackend` (serial,
 thread-pool, asyncio or a shared-memory process pool; build one from a spec
@@ -23,6 +25,11 @@ from repro.serving.backends import (
 )
 from repro.serving.cache import DEFAULT_CACHE_BYTES, CacheStats, SubgraphCache
 from repro.serving.engine import EngineStats, QueryEngine
+from repro.serving.result_cache import (
+    DEFAULT_RESULT_CACHE_BYTES,
+    ScoreTableCache,
+    stage_one_cache_key,
+)
 from repro.serving.sharding import RouterStats, ShardRouter, ShardServingStats
 from repro.serving.shm import (
     SharedGraphHandle,
@@ -41,6 +48,9 @@ __all__ = [
     "DEFAULT_CACHE_BYTES",
     "CacheStats",
     "SubgraphCache",
+    "DEFAULT_RESULT_CACHE_BYTES",
+    "ScoreTableCache",
+    "stage_one_cache_key",
     "EngineStats",
     "QueryEngine",
     "RouterStats",

@@ -338,6 +338,14 @@ class _WorkerState:
             totals = totals + cache.stats
         return totals
 
+    def reset_cache_stats(self) -> None:
+        """Zero every worker cache's counters (entries stay warm)."""
+        for _, cache in self._shards.values():
+            if cache is not None:
+                cache.reset_stats()
+        if self._host_cache is not None:
+            self._host_cache.reset_stats()
+
 
 def _picklable_exception(exc: BaseException) -> BaseException:
     """The exception itself when it pickles, else a faithful stand-in."""
@@ -372,6 +380,8 @@ def _process_worker_main(
       or ``("err", request_id, exception)`` (the whole group fails)
     * request ``("stats", request_id)`` →
       response ``("stats", request_id, cache_counters_or_None)``
+    * request ``("reset-stats", request_id)`` → zero the worker's cache
+      counters (entries stay warm) → response ``("stats", request_id, None)``
     * request ``None`` → clean shutdown.
     """
     try:
@@ -406,6 +416,10 @@ def _process_worker_main(
         elif kind == "stats":
             _, request_id = item
             responses.put(("stats", request_id, state.cache_stats()))
+        elif kind == "reset-stats":
+            _, request_id = item
+            state.reset_cache_stats()
+            responses.put(("stats", request_id, None))
     # _exit skips interpreter teardown: a forked worker must not run the
     # parent's inherited atexit hooks (coverage, logging, ...) and SimpleQueue
     # writes are synchronous, so nothing is left buffered.
@@ -917,6 +931,36 @@ class ProcessPoolBackend(ExecutionBackend):
                 continue
             totals = totals + counters
         return totals
+
+    def reset_cache_stats(self) -> None:
+        """Zero every worker's extraction-cache counters (entries stay warm).
+
+        The worker caches are the stage-task analogue of the engine-level
+        :class:`~repro.serving.cache.SubgraphCache`, so per-interval server
+        metrics must be able to reset them with the rest of the engine's
+        counters (``QueryEngine.reset_stats(reset_cache_stats=True)`` calls
+        this).  Same degradation contract as :meth:`cache_stats`: a stopped,
+        cache-less, busy or crashed pool is a bounded-wait no-op, never a
+        stall or an exception into a metrics endpoint.
+        """
+        with self._state_lock:
+            if not self._workers or self._cache_bytes is None:
+                return
+            futures = []
+            for queue in self._request_queues:
+                with self._pending_lock:
+                    if self._broken is not None:
+                        return
+                    request_id = next(self._task_ids)
+                    future: Future = Future()
+                    self._pending[request_id] = future
+                queue.put(("reset-stats", request_id))
+                futures.append(future)
+        for future in futures:
+            try:
+                future.result(timeout=self._STATS_TIMEOUT_SECONDS)
+            except (WorkerCrashError, FutureTimeoutError):
+                return
 
     def __repr__(self) -> str:
         bound = "unbound"

@@ -50,6 +50,10 @@ class CacheStats:
         Entries dropped to stay within the byte budget.
     rejected:
         Extractions too large to ever fit the budget (served uncached).
+    expired:
+        Entries dropped because their TTL passed (always 0 for caches
+        without a TTL, e.g. :class:`SubgraphCache`; an expired lookup also
+        counts as a miss).
     current_bytes, num_entries:
         Present size of the cache.
     """
@@ -58,6 +62,7 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     rejected: int = 0
+    expired: int = 0
     current_bytes: int = 0
     num_entries: int = 0
 
@@ -72,6 +77,7 @@ class CacheStats:
             misses=self.misses + other.misses,
             evictions=self.evictions + other.evictions,
             rejected=self.rejected + other.rejected,
+            expired=self.expired + other.expired,
             current_bytes=self.current_bytes + other.current_bytes,
             num_entries=self.num_entries + other.num_entries,
         )
@@ -94,6 +100,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "rejected": self.rejected,
+            "expired": self.expired,
             "current_bytes": self.current_bytes,
             "num_entries": self.num_entries,
             "hit_rate": self.hit_rate,

@@ -33,14 +33,16 @@ memory themselves stay correct too — their tracked sections serialise on
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.meloppr.planner import execute_plan
+from repro.meloppr.planner import MeLoPPRPlan, execute_plan
 from repro.ppr.base import PPRQuery, PPRResult, PPRSolver
 from repro.serving.backends import ExecutionBackend, SerialBackend
 from repro.serving.cache import CacheStats, SubgraphCache
+from repro.serving.result_cache import ScoreTableCache, stage_one_cache_key
 from repro.serving.sharding import RouterStats, ShardRouter
 from repro.serving.telemetry import LatencyHistogram, LatencySnapshot
 
@@ -81,11 +83,17 @@ class EngineStats:
         on the engine's internal accumulator, never in :meth:`QueryEngine.stats`
         snapshots.
     cache:
-        Snapshot of the sub-graph cache counters.  Uniform across serving
-        modes: with an engine-level cache these are its counters, and with a
-        router they are the aggregate over the per-shard and fallback caches,
+        Aggregate cache counters, uniform across serving modes: the engine
+        cache's counters (or the router's per-shard + fallback aggregate)
+        summed with the stage-one result-cache counters and any stage-task
+        backend's worker-cache counters — every hit the serving stack scored,
         so dashboards can read ``stats.cache.hit_rate`` either way.  ``None``
         only when caching is off entirely.
+    result_cache:
+        The stage-one result cache's share of those counters alone (engine
+        level or the router's per-shard aggregate; ``None`` when cross-query
+        result caching is off).  ``cache`` already includes these, so
+        reconcile as ``cache == extraction caches + result_cache``.
     router:
         Snapshot of the shard-routing counters (``None`` when unsharded).
     """
@@ -99,6 +107,7 @@ class EngineStats:
     max_latency_seconds: float = 0.0
     latency: Optional[LatencySnapshot] = None
     cache: Optional[CacheStats] = None
+    result_cache: Optional[CacheStats] = None
     router: Optional[RouterStats] = None
 
     @property
@@ -130,6 +139,7 @@ class EngineStats:
         self.max_latency_seconds = 0.0
         self.latency = None
         self.cache = None
+        self.result_cache = None
         self.router = None
 
     def as_dict(self) -> Dict[str, object]:
@@ -148,6 +158,9 @@ class EngineStats:
             "max_latency_seconds": self.max_latency_seconds,
             "latency": None if self.latency is None else self.latency.as_dict(),
             "cache": None if self.cache is None else self.cache.as_dict(),
+            "result_cache": (
+                None if self.result_cache is None else self.result_cache.as_dict()
+            ),
             "router": None if self.router is None else self.router.as_dict(),
         }
 
@@ -171,6 +184,15 @@ class QueryEngine:
         Optional :class:`~repro.serving.sharding.ShardRouter` serving
         extractions from a partitioned host graph (one cache per shard).
         Mutually exclusive with ``cache`` — the router owns its caches.
+    result_cache:
+        Optional :class:`~repro.serving.result_cache.ScoreTableCache`
+        reusing folded stage-one score tables across queries: a repeated hot
+        seed skips straight to its stage-two tasks with bit-identical
+        scores.  Mutually exclusive with ``router`` — a sharded engine keeps
+        one result cache per shard, configured via
+        ``ShardRouter(result_cache_bytes=...)``.  Compatible with every
+        backend, including stage-task backends (the cache lives parent-side,
+        so workers only ever see the stage-two tasks of a cached query).
 
     Example
     -------
@@ -191,19 +213,40 @@ class QueryEngine:
         backend: Optional[ExecutionBackend] = None,
         cache: Optional[SubgraphCache] = None,
         router: Optional[ShardRouter] = None,
+        result_cache: Optional[ScoreTableCache] = None,
     ) -> None:
         if cache is not None and router is not None:
             raise ValueError(
                 "pass either cache= or router=, not both: the router owns "
                 "one cache per shard"
             )
+        if result_cache is not None and router is not None:
+            raise ValueError(
+                "pass either result_cache= or router=, not both: a sharded "
+                "engine keeps one result cache per shard "
+                "(ShardRouter(result_cache_bytes=...))"
+            )
         self._solver = solver
         self._backend = backend if backend is not None else SerialBackend()
         self._cache = cache
         self._router = router
+        self._result_cache = result_cache
         self._pending: List[PPRQuery] = []
         self._stats = EngineStats(backend=self._backend.name)
         self._latency = LatencyHistogram()
+        # Serving counters are mutated by whichever thread calls solve_batch
+        # (the stress suite hammers one engine from many); accumulation,
+        # snapshotting and resets all serialise on this lock so per-interval
+        # metrics can never under- or over-count a batch.
+        self._stats_lock = threading.Lock()
+        # The result-cache key includes the host graph's structural
+        # fingerprint; force the (memoised) hash now so a multi-GB graph
+        # charges it to engine construction, not to the first query's
+        # latency.
+        if result_cache is not None:
+            solver.graph.fingerprint()
+        elif router is not None and router.result_caching_enabled:
+            router.partition.host.fingerprint()
         # A stage-task backend (the process pool) must know what graph its
         # workers serve before the first batch: bind it to the partition when
         # sharded (workers pin to shards) or to the host graph otherwise.
@@ -246,6 +289,12 @@ class QueryEngine:
         return self._router
 
     @property
+    def result_cache(self) -> Optional[ScoreTableCache]:
+        """The engine-level stage-one result cache (``None`` when disabled;
+        a sharded engine's per-shard result caches live on the router)."""
+        return self._result_cache
+
+    @property
     def num_pending(self) -> int:
         """Queries submitted but not yet drained."""
         return len(self._pending)
@@ -272,21 +321,23 @@ class QueryEngine:
         results = self._backend.map(self._solve_one, queries)
         wall = time.perf_counter() - start
 
-        stats = self._stats
-        stats.batches += 1
-        stats.queries_served += len(results)
-        stats.wall_seconds += wall
-        for result in results:
-            latency = float(result.metadata["serving"]["latency_seconds"])
-            stats.query_seconds += latency
-            stats.min_latency_seconds = min(stats.min_latency_seconds, latency)
-            stats.max_latency_seconds = max(stats.max_latency_seconds, latency)
-            self._latency.record(latency)
+        with self._stats_lock:
+            stats = self._stats
+            stats.batches += 1
+            stats.queries_served += len(results)
+            stats.wall_seconds += wall
+            for result in results:
+                latency = float(result.metadata["serving"]["latency_seconds"])
+                stats.query_seconds += latency
+                stats.min_latency_seconds = min(stats.min_latency_seconds, latency)
+                stats.max_latency_seconds = max(stats.max_latency_seconds, latency)
+                self._latency.record(latency)
         return results
 
     def _solve_one(self, query: PPRQuery) -> PPRResult:
         """Answer one query (runs on a backend worker)."""
         start = time.perf_counter()
+        result_cache_outcome: Optional[str] = None
         plan_factory = getattr(self._solver, "plan", None)
         if plan_factory is not None:
             if self._router is not None:
@@ -301,25 +352,71 @@ class QueryEngine:
             # deterministic modelled working set instead).
             track_memory = False if self._backend.concurrent else None
             plan = plan_factory(query, track_memory=track_memory)
-            if getattr(self._backend, "executes_stage_tasks", False):
-                result = self._execute_plan_remote(plan, extract)
-            else:
-                result = execute_plan(plan, extract=extract)
+
+            # Cross-query stage-one reuse: a hit resumes the plan past its
+            # first stage, a miss installs the folded state after the first
+            # stage completes.  Both paths are parent-side — a stage-task
+            # backend's workers only ever see the remaining stage-two tasks.
+            result_cache = (
+                self._router.result_cache_for(query.seed)
+                if self._router is not None
+                else self._result_cache
+            )
+            install: Optional[Callable[[MeLoPPRPlan], None]] = None
+            if result_cache is not None:
+                key = stage_one_cache_key(plan)
+                state = result_cache.get(key)
+                if state is not None:
+                    plan = MeLoPPRPlan.from_stage_one_table(
+                        plan.graph,
+                        plan.config,
+                        query,
+                        state,
+                        track_memory=track_memory,
+                    )
+                    result_cache_outcome = "hit"
+                else:
+                    install = lambda done_plan: result_cache.put(
+                        key, done_plan.stage_one_state()
+                    )
+                    result_cache_outcome = "miss"
+            result = self._drive_plan(plan, extract, install=install)
         else:
             result = self._solver.solve(query)
         latency = time.perf_counter() - start
-        return self._finish_result(result, latency)
+        return self._finish_result(result, latency, result_cache_outcome)
 
-    def _execute_plan_remote(self, plan, extract) -> PPRResult:
-        """Drive a plan with the stage tasks executed on the backend's workers.
+    def _drive_plan(
+        self,
+        plan: MeLoPPRPlan,
+        extract,
+        install: Optional[Callable[[MeLoPPRPlan], None]] = None,
+    ) -> PPRResult:
+        """Drive a plan to completion through the backend.
 
-        The plan (folding, residual selection) runs here in the parent, in
+        The plan (folding, residual selection) always runs in the parent, in
         exactly the serial order, so scores stay bit-identical to
-        :func:`~repro.meloppr.planner.execute_plan`; only the extraction +
-        diffusion of each task happens in a worker process.  ``extract`` is
-        the parent-side hook for tasks the workers cannot serve (sharded
-        extractions beyond the halo fall back to the host graph here).
+        :func:`~repro.meloppr.planner.execute_plan` — an in-process backend
+        literally runs ``execute_plan`` (one serial drive loop in the
+        library); a stage-task backend runs the extraction + diffusion of
+        each task in a worker process, with ``extract`` as the parent-side
+        hook for tasks the workers cannot serve (sharded extractions beyond
+        the halo fall back to the host graph here).  ``install`` runs once,
+        right after the first stage folds — the result cache's snapshot
+        point.
         """
+        after_stage: Optional[Callable[[MeLoPPRPlan], None]] = None
+        if install is not None:
+            pending = install
+
+            def after_stage(done_plan: MeLoPPRPlan) -> None:
+                nonlocal pending
+                if pending is not None:
+                    callback, pending = pending, None
+                    callback(done_plan)
+
+        if not getattr(self._backend, "executes_stage_tasks", False):
+            return execute_plan(plan, extract=extract, after_stage=after_stage)
         try:
             while not plan.done:
                 plan.complete_stage(
@@ -327,11 +424,18 @@ class QueryEngine:
                         plan.pending_tasks, fallback=extract, timing=plan.timing
                     )
                 )
+                if after_stage is not None:
+                    after_stage(plan)
         finally:
             plan.close()
         return plan.finish()
 
-    def _finish_result(self, result: PPRResult, latency: float) -> PPRResult:
+    def _finish_result(
+        self,
+        result: PPRResult,
+        latency: float,
+        result_cache_outcome: Optional[str] = None,
+    ) -> PPRResult:
         """Stamp the serving metadata onto one query's result."""
         result.metadata["serving"] = {
             "backend": self._backend.name,
@@ -342,6 +446,9 @@ class QueryEngine:
                 or (self._router is not None and self._router.caching_enabled)
                 or getattr(self._backend, "cache_bytes", None) is not None
             ),
+            # "hit" (stage one replayed from cache), "miss" (computed and
+            # installed) or None (result caching off / non-planner solver).
+            "result_cache": result_cache_outcome,
             "sharded": self._router is not None,
         }
         return result
@@ -352,9 +459,11 @@ class QueryEngine:
 
         The ``cache`` field is uniform across serving modes: it carries the
         engine-level cache's counters when one is configured, and the
-        router's aggregated per-shard + fallback counters when sharded.
+        router's aggregated per-shard + fallback counters when sharded —
+        plus, folded in, any stage-task backend's worker-cache counters and
+        the stage-one result cache's counters (the latter also reported
+        alone under ``result_cache``).
         """
-        stats = self._stats
         router_stats = None if self._router is None else self._router.stats()
         if self._cache is not None:
             cache_stats: Optional[CacheStats] = self._cache.stats
@@ -367,18 +476,28 @@ class QueryEngine:
         backend_cache_stats = getattr(self._backend, "cache_stats", None)
         if backend_cache_stats is not None:
             cache_stats = _merge_cache_stats(cache_stats, backend_cache_stats())
-        return EngineStats(
-            backend=stats.backend,
-            queries_served=stats.queries_served,
-            batches=stats.batches,
-            wall_seconds=stats.wall_seconds,
-            query_seconds=stats.query_seconds,
-            min_latency_seconds=stats.min_latency_seconds,
-            max_latency_seconds=stats.max_latency_seconds,
-            latency=self._latency.snapshot(),
-            cache=cache_stats,
-            router=router_stats,
-        )
+        if self._result_cache is not None:
+            result_cache_stats: Optional[CacheStats] = self._result_cache.stats
+        elif router_stats is not None:
+            result_cache_stats = router_stats.aggregate_result_cache()
+        else:
+            result_cache_stats = None
+        cache_stats = _merge_cache_stats(cache_stats, result_cache_stats)
+        with self._stats_lock:
+            stats = self._stats
+            return EngineStats(
+                backend=stats.backend,
+                queries_served=stats.queries_served,
+                batches=stats.batches,
+                wall_seconds=stats.wall_seconds,
+                query_seconds=stats.query_seconds,
+                min_latency_seconds=stats.min_latency_seconds,
+                max_latency_seconds=stats.max_latency_seconds,
+                latency=self._latency.snapshot(),
+                cache=cache_stats,
+                result_cache=result_cache_stats,
+                router=router_stats,
+            )
 
     def reset_stats(self, reset_cache_stats: bool = False) -> None:
         """Zero the serving counters (for per-interval server metrics).
@@ -386,15 +505,29 @@ class QueryEngine:
         Cache contents are never touched — only counters reset.  By default
         the cache/router counters keep accumulating (their hit rates describe
         the cache's whole life); pass ``reset_cache_stats=True`` to zero them
-        too so every interval reports interval-local hit rates.
+        too so every interval reports interval-local hit rates.  That resets
+        **every** counter source ``stats()`` aggregates — the engine cache or
+        the router's per-shard/fallback/result caches, the engine-level
+        result cache, and a stage-task backend's worker caches — so an
+        interval snapshot can never mix a freshly zeroed engine counter with
+        a stale cache counter.  (The engine accumulator and the latency
+        histogram reset under the stats lock; with traffic still in flight
+        the caches quiesce at their own locks, so drain first for exact
+        cross-source invariants, as the stress tests do.)
         """
-        self._stats.reset()
-        self._latency.reset()
+        with self._stats_lock:
+            self._stats.reset()
+            self._latency.reset()
         if reset_cache_stats:
             if self._cache is not None:
                 self._cache.reset_stats()
             if self._router is not None:
                 self._router.reset_stats()
+            if self._result_cache is not None:
+                self._result_cache.reset_stats()
+            backend_reset = getattr(self._backend, "reset_cache_stats", None)
+            if backend_reset is not None:
+                backend_reset()
 
     def close(self, discard_pending: bool = False) -> None:
         """Shut down the backend (the cache, if any, is left warm).
@@ -443,7 +576,11 @@ class QueryEngine:
 
     def __repr__(self) -> str:
         cache = "none" if self._cache is None else repr(self._cache)
+        result_cache = (
+            "none" if self._result_cache is None else repr(self._result_cache)
+        )
         return (
             f"QueryEngine(solver={self._solver!r}, backend={self._backend!r}, "
-            f"cache={cache}, router={self._router!r})"
+            f"cache={cache}, result_cache={result_cache}, "
+            f"router={self._router!r})"
         )

@@ -319,7 +319,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-pending", type=int, default=256, help="admission bound"
     )
     parser.add_argument(
-        "--no-cache", action="store_true", help="disable the sub-graph cache"
+        "--no-cache",
+        action="store_true",
+        help=(
+            "disable caching: the sub-graph cache and (unless "
+            "--result-cache-bytes explicitly enables it) the cross-query "
+            "result cache"
+        ),
+    )
+    parser.add_argument(
+        "--result-cache-bytes",
+        type=int,
+        default=None,
+        help=(
+            "byte budget of the cross-query stage-one result cache "
+            "(hot seeds skip straight to stage two; 0 disables, the "
+            "default enables it at the library default budget)"
+        ),
+    )
+    parser.add_argument(
+        "--result-cache-ttl",
+        type=float,
+        default=None,
+        help="optional TTL (seconds) on cached stage-one tables (<= 0: none)",
     )
     return parser
 
@@ -333,6 +355,7 @@ def build_frontend(args: argparse.Namespace):
     from repro.serving.backends import ProcessPoolBackend, make_backend
     from repro.serving.cache import SubgraphCache
     from repro.serving.engine import QueryEngine
+    from repro.serving.result_cache import ScoreTableCache
 
     graph = load_dataset(args.dataset)
     backend = make_backend(args.backend)
@@ -347,10 +370,33 @@ def build_frontend(args: argparse.Namespace):
             )
     else:
         cache = None if args.no_cache else SubgraphCache()
+    # The stage-one result cache is parent-side for every backend (workers
+    # only ever see the stage-two tasks of a cached query), so the flag maps
+    # uniformly; 0 switches it off, and --no-cache means *all* caching off
+    # (it is how operators measure the uncached path — a silently surviving
+    # result cache would invalidate that baseline by 2x+) unless an explicit
+    # --result-cache-bytes overrides it.
+    result_cache_bytes = getattr(args, "result_cache_bytes", None)
+    result_cache_ttl = getattr(args, "result_cache_ttl", None)
+    if result_cache_ttl is not None and result_cache_ttl <= 0:
+        # Same 0-disables convention as --result-cache-bytes: a non-positive
+        # TTL means "no TTL", not a startup crash.
+        result_cache_ttl = None
+    if result_cache_bytes is None and args.no_cache:
+        result_cache = None
+    elif result_cache_bytes is not None and result_cache_bytes <= 0:
+        result_cache = None
+    elif result_cache_bytes is not None:
+        result_cache = ScoreTableCache(
+            result_cache_bytes, ttl_seconds=result_cache_ttl
+        )
+    else:
+        result_cache = ScoreTableCache(ttl_seconds=result_cache_ttl)
     engine = QueryEngine(
         MeLoPPRSolver(graph),
         backend=backend,
         cache=cache,
+        result_cache=result_cache,
     )
     policy = BatchPolicy(
         max_batch_size=args.max_batch,

@@ -1,0 +1,367 @@
+"""Cross-query stage-one result cache (hot-seed score-table reuse).
+
+Real query streams are Zipfian: the same hot seeds arrive over and over.
+The sub-graph caches (:class:`~repro.serving.cache.SubgraphCache`, one per
+shard under a :class:`~repro.serving.sharding.ShardRouter`) already make the
+*extractions* of a repeated query cheap, but every arrival still re-runs the
+identical stage-one diffusion, fold, Eq. 6 correction and next-stage
+selection.  All of that is a pure function of ``(seed, realised stage split,
+alpha, score-table capacity, selector, graph)`` — so it can be computed once
+and replayed.
+
+:class:`ScoreTableCache` stores the folded stage-one state
+(:class:`~repro.meloppr.planner.StageOneState`: score-table snapshot plus
+the selected stage-two work list) keyed by :func:`stage_one_cache_key`.  On
+a hit the engine resumes the plan with
+:meth:`~repro.meloppr.planner.MeLoPPRPlan.from_stage_one_table` and only the
+stage-two tasks run; scores are bit-identical to the uncached path because
+the replayed fold state is byte-for-byte the state the plan would have
+reached itself.
+
+The cache is byte-budgeted with LRU eviction (like the sub-graph caches),
+optionally TTL-bounded (long-running servers can bound staleness of *any*
+derived artefact even though the key's graph fingerprint already rules out
+serving a different topology), explicitly invalidatable, and thread-safe —
+all bookkeeping runs under one lock, and the cached states are deeply
+immutable so hits can be shared across backend threads freely.  Counters are
+the shared :class:`~repro.serving.cache.CacheStats` shape, so hits roll up
+into :attr:`~repro.serving.engine.EngineStats.cache` alongside the sub-graph
+caches (and separately under ``EngineStats.result_cache``).
+
+Composition with the async frontend: the
+:class:`~repro.serving.frontend.batcher.MicroBatcher`'s in-flight dedup
+collapses *concurrent* identical queries to one computation, and this cache
+collapses *temporal* repeats — the first completed computation installs the
+state, every later arrival resumes from it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Hashable, Optional, Tuple
+
+from repro.meloppr.planner import MeLoPPRPlan, StageOneState
+from repro.serving.cache import CacheStats
+
+__all__ = [
+    "DEFAULT_RESULT_CACHE_BYTES",
+    "ScoreTableCache",
+    "stage_one_cache_key",
+]
+
+#: Default byte budget — score tables are far smaller than sub-graphs, so a
+#: modest budget holds thousands of hot seeds.
+DEFAULT_RESULT_CACHE_BYTES = 32 * 1024 * 1024
+
+
+def _value_identity(value) -> Hashable:
+    """A faithful, hashable identity of one selector attribute value.
+
+    ``repr`` is the general answer, but numpy elides large arrays
+    (``[0.1, ..., 0.9]``), which would collide two masks differing only in
+    the elided middle — so array-likes are identified by a digest of their
+    raw bytes plus shape/dtype instead.
+    """
+    tobytes = getattr(value, "tobytes", None)
+    if tobytes is not None:
+        digest = hashlib.blake2b(tobytes(), digest_size=16).hexdigest()
+        return (
+            "array",
+            tuple(getattr(value, "shape", ())),
+            str(getattr(value, "dtype", "")),
+            digest,
+        )
+    return repr(value)
+
+
+def _selector_identity(selector) -> Tuple[Hashable, ...]:
+    """A parameter-bearing identity of a next-stage selector.
+
+    ``repr(selector)`` alone is not enough: the ``NextStageSelector`` base
+    class default is ``f"{type(self).__name__}()"``, so a user-defined
+    subclass with constructor knobs that does not override ``__repr__``
+    would collide two differently-parameterised instances onto one cache
+    key — and a hit would replay the *other* configuration's stage-two
+    selection.  The class qualname plus the instance ``__dict__`` (each
+    value via :func:`_value_identity` so the tuple stays hashable and
+    array-valued knobs stay faithful) distinguishes them;
+    ``__slots__``-only selectors fall back to ``repr`` — they opted out of
+    ``__dict__`` and almost certainly define a faithful one.
+    """
+    try:
+        fields = vars(selector)
+    except TypeError:  # __slots__-only instance
+        return (type(selector).__qualname__, repr(selector))
+    return (
+        type(selector).__qualname__,
+        tuple(
+            sorted((name, _value_identity(value)) for name, value in fields.items())
+        ),
+    )
+
+
+def stage_one_cache_key(plan: MeLoPPRPlan) -> Tuple[Hashable, ...]:
+    """The cache key under which ``plan``'s stage-one state may be reused.
+
+    Covers every input the stage-one computation depends on:
+
+    * ``seed``, ``alpha`` — the query parameters stage one diffuses with;
+    * the **realised** stage split (after the planner's re-split for
+      lengths that differ from the configured ``sum(stage_lengths)``), which
+      fixes both the stage-one depth and the weights folded;
+    * the score-table capacity (``c * k`` — two queries for different ``k``
+      fold into differently bounded tables, so they must not share);
+    * the selector and residual tolerance (they choose the stage-two work
+      list stored in the state);
+    * the host graph's structural fingerprint, so a rebuilt or repartitioned
+      graph with different topology can never be served a stale table.
+    """
+    query = plan.query
+    config = plan.config
+    return (
+        int(query.seed),
+        tuple(plan.stage_plan.stage_lengths),
+        float(query.alpha),
+        config.score_table_capacity(query.k),
+        _selector_identity(config.selector),
+        float(config.residual_tolerance),
+        plan.graph.fingerprint(),
+    )
+
+
+def _entry_nbytes(state: StageOneState) -> int:
+    """Modelled retained bytes of one cached stage-one state.
+
+    Mirrors the sub-graph cache's accounting style: dict-like entries are
+    charged two machine words each (node id + float), records a flat per
+    record cost, without paying a ``sys.getsizeof`` traversal per insert.
+    """
+    table_entries = len(state.table.scores) + len(state.table.evicted)
+    return int(
+        16 * table_entries
+        + 16 * len(state.next_work)
+        + 64 * len(state.records)
+        + 128  # fixed per-entry overhead (key tuple, bookkeeping)
+    )
+
+
+class ScoreTableCache:
+    """Byte-budgeted LRU cache of folded stage-one states.
+
+    Parameters
+    ----------
+    max_bytes:
+        Byte budget for retained entries.  Inserting past the budget evicts
+        least-recently-used entries until the new entry fits; an entry larger
+        than the whole budget is never cached (``stats.rejected``).
+    ttl_seconds:
+        Optional time-to-live.  An entry older than this is dropped on
+        lookup (counted in ``stats.expired`` *and* as a miss).  ``None``
+        (the default) keeps entries until evicted or invalidated — the graph
+        fingerprint in the key already guarantees correctness, so a TTL is a
+        freshness policy, not a safety requirement.
+    clock:
+        Monotonic time source (injectable for tests).
+
+    Notes
+    -----
+    Unlike :class:`~repro.serving.cache.SubgraphCache` there is no
+    ``get_or_compute``: producing a state requires executing a plan stage,
+    which the engine orchestrates.  Two threads missing on the same key may
+    both compute; the second :meth:`put` replaces the first with an
+    identical state, which is harmless because stage one is deterministic.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_RESULT_CACHE_BYTES,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be > 0, got {max_bytes}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(
+                f"ttl_seconds must be > 0 or None, got {ttl_seconds}"
+            )
+        self._max_bytes = int(max_bytes)
+        self._ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        # key -> (state, nbytes, stored_at)
+        self._entries: "OrderedDict[Tuple[Hashable, ...], Tuple[StageOneState, int, float]]" = (
+            OrderedDict()
+        )
+        self._current_bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._rejected = 0
+        self._expired = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def max_bytes(self) -> int:
+        """The configured byte budget."""
+        return self._max_bytes
+
+    @property
+    def ttl_seconds(self) -> Optional[float]:
+        """The configured time-to-live (``None`` = entries never expire)."""
+        return self._ttl_seconds
+
+    @property
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                rejected=self._rejected,
+                expired=self._expired,
+                current_bytes=self._current_bytes,
+                num_entries=len(self._entries),
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Tuple[Hashable, ...]) -> bool:
+        """Whether ``key`` holds an entry a :meth:`get` would actually serve
+        (a TTL-expired entry still occupying bytes answers ``False``)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            return not self._is_expired(entry[2])
+
+    def _is_expired(self, stored_at: float) -> bool:
+        """Whether an entry stored at ``stored_at`` has outlived the TTL."""
+        return (
+            self._ttl_seconds is not None
+            and self._clock() - stored_at >= self._ttl_seconds
+        )
+
+    # ------------------------------------------------------------------
+    def get(self, key: Tuple[Hashable, ...]) -> Optional[StageOneState]:
+        """Look up a stage-one state, updating recency and counters."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            state, nbytes, stored_at = entry
+            if self._is_expired(stored_at):
+                del self._entries[key]
+                self._current_bytes -= nbytes
+                self._expired += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return state
+
+    def put(self, key: Tuple[Hashable, ...], state: StageOneState) -> bool:
+        """Insert a stage-one state; returns whether it was retained."""
+        nbytes = _entry_nbytes(state)
+        with self._lock:
+            if nbytes > self._max_bytes:
+                self._rejected += 1
+                return False
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._current_bytes -= previous[1]
+            # Reclaim entries whose TTL already passed before evicting live
+            # ones — and count the two outcomes apart, so eviction metrics
+            # never blame budget pressure for ordinary expiry (expired
+            # entries are otherwise only swept by a get() of their own key).
+            if self._ttl_seconds is not None:
+                dead = [
+                    entry_key
+                    for entry_key, (_, _, stored_at) in self._entries.items()
+                    if self._is_expired(stored_at)
+                ]
+                for entry_key in dead:
+                    _, dropped, _ = self._entries.pop(entry_key)
+                    self._current_bytes -= dropped
+                    self._expired += 1
+            while self._entries and self._current_bytes + nbytes > self._max_bytes:
+                _, (_, dropped, _) = self._entries.popitem(last=False)
+                self._current_bytes -= dropped
+                self._evictions += 1
+            self._entries[key] = (state, nbytes, self._clock())
+            self._current_bytes += nbytes
+            return True
+
+    def invalidate(self, key: Tuple[Hashable, ...]) -> bool:
+        """Explicitly drop one entry; returns whether it was present.
+
+        Not counted as an eviction (the budget did not force it) — live
+        state just shrinks, like :meth:`clear`.
+        """
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self._current_bytes -= entry[1]
+            return True
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the byte-accounting invariants, raising on drift.
+
+        Invariants: ``current_bytes`` equals the sum of retained entries'
+        recorded sizes, each recorded size matches a recomputation, and the
+        budget is respected.  Cheap; used by the concurrency stress tests.
+        """
+        with self._lock:
+            recomputed = 0
+            for state, nbytes, _ in self._entries.values():
+                actual = _entry_nbytes(state)
+                if actual != nbytes:
+                    raise AssertionError(
+                        f"entry records {nbytes} bytes but holds {actual}"
+                    )
+                recomputed += nbytes
+            if recomputed != self._current_bytes:
+                raise AssertionError(
+                    f"current_bytes={self._current_bytes} but entries sum to "
+                    f"{recomputed}"
+                )
+            if self._current_bytes > self._max_bytes:
+                raise AssertionError(
+                    f"current_bytes={self._current_bytes} exceeds the budget "
+                    f"{self._max_bytes}"
+                )
+
+    def reset_stats(self) -> None:
+        """Zero the counters (entries are kept) — same contract as
+        :meth:`SubgraphCache.reset_stats`: ``current_bytes``/``num_entries``
+        describe live state, not history, and are unaffected."""
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+            self._rejected = 0
+            self._expired = 0
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept) — same contract as
+        :meth:`SubgraphCache.clear`."""
+        with self._lock:
+            self._entries.clear()
+            self._current_bytes = 0
+
+    def __repr__(self) -> str:
+        stats = self.stats
+        ttl = "none" if self._ttl_seconds is None else f"{self._ttl_seconds:g}s"
+        return (
+            f"ScoreTableCache(max_bytes={self._max_bytes}, ttl={ttl}, "
+            f"entries={stats.num_entries}, bytes={stats.current_bytes}, "
+            f"hit_rate={stats.hit_rate:.2f})"
+        )

@@ -29,6 +29,7 @@ from repro.graph.csr import CSRGraph
 from repro.graph.partition import GraphPartition
 from repro.graph.subgraph import Subgraph
 from repro.serving.cache import DEFAULT_CACHE_BYTES, CacheStats, SubgraphCache
+from repro.serving.result_cache import ScoreTableCache
 from repro.utils.validation import check_node_id
 
 __all__ = [
@@ -56,6 +57,9 @@ class ShardServingStats:
         were answered from the host graph instead.
     cache:
         Snapshot of the shard's cache counters (``None`` with caching off).
+    result_cache:
+        Snapshot of the shard's stage-one result-cache counters (``None``
+        with result caching off).
     """
 
     shard_id: int
@@ -64,6 +68,7 @@ class ShardServingStats:
     local_extractions: int
     fallback_extractions: int
     cache: Optional[CacheStats]
+    result_cache: Optional[CacheStats] = None
 
     @property
     def hit_rate(self) -> float:
@@ -79,6 +84,9 @@ class ShardServingStats:
             "local_extractions": self.local_extractions,
             "fallback_extractions": self.fallback_extractions,
             "cache": None if self.cache is None else self.cache.as_dict(),
+            "result_cache": (
+                None if self.result_cache is None else self.result_cache.as_dict()
+            ),
         }
 
 
@@ -144,6 +152,17 @@ class RouterStats:
         """Shard-cache hit rates, indexed by shard id."""
         return [shard.hit_rate for shard in self.shards]
 
+    @staticmethod
+    def _sum_counters(counters) -> Optional[CacheStats]:
+        """Counter-wise sum over optional snapshots (``None`` when all off)."""
+        present = [stats for stats in counters if stats is not None]
+        if not present:
+            return None
+        total = CacheStats()
+        for stats in present:
+            total = total + stats
+        return total
+
     def aggregate_cache(self) -> Optional[CacheStats]:
         """Sum of the per-shard and fallback cache counters.
 
@@ -151,18 +170,24 @@ class RouterStats:
         uniform: a shard-routed engine reports the same ``cache`` shape as an
         engine with a single shared cache.  ``None`` with caching off.
         """
-        caches = [shard.cache for shard in self.shards if shard.cache is not None]
-        if self.fallback_cache is not None:
-            caches.append(self.fallback_cache)
-        if not caches:
-            return None
-        total = CacheStats()
-        for cache in caches:
-            total = total + cache
-        return total
+        return self._sum_counters(
+            [shard.cache for shard in self.shards] + [self.fallback_cache]
+        )
+
+    def aggregate_result_cache(self) -> Optional[CacheStats]:
+        """Sum of the per-shard stage-one result-cache counters.
+
+        The sharded counterpart of a single engine-level
+        :class:`~repro.serving.result_cache.ScoreTableCache`'s ``stats`` —
+        the engine reports it under ``EngineStats.result_cache`` so
+        dashboards read one shape whether sharded or not.  ``None`` with
+        result caching off.
+        """
+        return self._sum_counters(shard.result_cache for shard in self.shards)
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict form for JSON reports."""
+        result_cache = self.aggregate_result_cache()
         return {
             "strategy": self.strategy,
             "num_shards": self.num_shards,
@@ -177,6 +202,9 @@ class RouterStats:
             "fallback_cache": (
                 None if self.fallback_cache is None else self.fallback_cache.as_dict()
             ),
+            "result_cache": (
+                None if result_cache is None else result_cache.as_dict()
+            ),
         }
 
 
@@ -190,6 +218,15 @@ class ShardRouter:
     cache_bytes:
         Byte budget of **each** per-shard cache (and of the fallback cache).
         Pass ``None`` to disable caching entirely.
+    result_cache_bytes:
+        Byte budget of **each** per-shard stage-one result cache
+        (:class:`~repro.serving.result_cache.ScoreTableCache`), keyed to the
+        shard owning the query's *seed* so hot-seed state lives next to the
+        shard's sub-graphs.  ``None`` (default) disables cross-query result
+        caching — opt in the same way the engine-level ``result_cache=`` is
+        opted into.
+    result_cache_ttl_seconds:
+        Optional TTL applied to every per-shard result cache.
 
     Notes
     -----
@@ -197,13 +234,16 @@ class ShardRouter:
     internally locked, and the routing counters are guarded by a router lock,
     so one router can serve a concurrent backend.  ``router.extract`` has
     exactly the planner's :data:`~repro.meloppr.planner.ExtractFn` signature;
-    ``QueryEngine(..., router=router)`` wires it in.
+    ``QueryEngine(..., router=router)`` wires it in, and consults
+    :meth:`result_cache_for` per query for stage-one reuse.
     """
 
     def __init__(
         self,
         partition: GraphPartition,
         cache_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
+        result_cache_bytes: Optional[int] = None,
+        result_cache_ttl_seconds: Optional[float] = None,
     ) -> None:
         self._partition = partition
         self._caches: Tuple[Optional[SubgraphCache], ...] = tuple(
@@ -212,6 +252,12 @@ class ShardRouter:
         )
         self._fallback_cache: Optional[SubgraphCache] = (
             SubgraphCache(cache_bytes) if cache_bytes is not None else None
+        )
+        self._result_caches: Tuple[Optional[ScoreTableCache], ...] = tuple(
+            ScoreTableCache(result_cache_bytes, ttl_seconds=result_cache_ttl_seconds)
+            if result_cache_bytes is not None
+            else None
+            for _ in partition.shards
         )
         # Routing counters are guarded per shard so the hot path never
         # serialises unrelated shards on one router-global lock.
@@ -235,9 +281,25 @@ class ShardRouter:
         """Whether per-shard (and fallback) caches are active."""
         return self._fallback_cache is not None
 
+    @property
+    def result_caching_enabled(self) -> bool:
+        """Whether per-shard stage-one result caches are active."""
+        return any(cache is not None for cache in self._result_caches)
+
     def cache_for(self, shard_id: int) -> Optional[SubgraphCache]:
         """The cache of one shard (``None`` with caching off)."""
         return self._caches[shard_id]
+
+    def result_cache_for(self, seed: int) -> Optional[ScoreTableCache]:
+        """The result cache owning a query's seed (``None`` when disabled).
+
+        Stage one always diffuses around the seed, so its folded table is
+        kept by the seed's owning shard — the same placement rule the
+        extraction path uses, which keeps each shard's hot state (sub-graphs
+        *and* score tables) self-contained for future NUMA pinning.
+        """
+        seed = check_node_id(seed, self._partition.host.num_nodes, "seed")
+        return self._result_caches[int(self._partition.assignments[seed])]
 
     # ------------------------------------------------------------------
     def extract(
@@ -316,6 +378,11 @@ class ShardRouter:
                     if self._caches[shard.shard_id] is None
                     else self._caches[shard.shard_id].stats
                 ),
+                result_cache=(
+                    None
+                    if self._result_caches[shard.shard_id] is None
+                    else self._result_caches[shard.shard_id].stats
+                ),
             )
             for shard in partition.shards
         )
@@ -345,6 +412,20 @@ class ShardRouter:
                 cache.reset_stats()
         if self._fallback_cache is not None:
             self._fallback_cache.reset_stats()
+        for result_cache in self._result_caches:
+            if result_cache is not None:
+                result_cache.reset_stats()
+
+    def clear_result_caches(self) -> None:
+        """Drop every shard's cached stage-one state (counters are kept).
+
+        Explicit invalidation for operational use (e.g. after a config
+        change that `stage_one_cache_key` does not cover); a *rebuilt* graph
+        needs no call — its fingerprint changes the keys.
+        """
+        for result_cache in self._result_caches:
+            if result_cache is not None:
+                result_cache.clear()
 
     def validate(self) -> None:
         """Check every cache's internal invariants (testing aid)."""
@@ -353,11 +434,15 @@ class ShardRouter:
                 cache.validate()
         if self._fallback_cache is not None:
             self._fallback_cache.validate()
+        for result_cache in self._result_caches:
+            if result_cache is not None:
+                result_cache.validate()
 
     def __repr__(self) -> str:
         return (
             f"ShardRouter(partition={self._partition!r}, "
-            f"caching={'on' if self.caching_enabled else 'off'})"
+            f"caching={'on' if self.caching_enabled else 'off'}, "
+            f"result_caching={'on' if self.result_caching_enabled else 'off'})"
         )
 
 

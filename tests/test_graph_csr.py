@@ -128,3 +128,23 @@ class TestDunder:
     def test_arrays_are_read_only(self, triangle_graph):
         with pytest.raises(ValueError):
             triangle_graph.indices[0] = 2
+
+
+class TestFingerprint:
+    def test_equal_structure_equal_fingerprint(self):
+        a = CSRGraph.from_edges(4, [(0, 1), (1, 2)], name="first")
+        b = CSRGraph.from_edges(4, [(0, 1), (1, 2)], name="rebuilt-elsewhere")
+        # The name is excluded on purpose: a rebuilt identical graph IS the
+        # same graph as far as derived caches are concerned.
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_topology_change_changes_fingerprint(self):
+        base = CSRGraph.from_edges(4, [(0, 1), (1, 2)])
+        extra_edge = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        extra_node = CSRGraph.from_edges(5, [(0, 1), (1, 2)])
+        assert base.fingerprint() != extra_edge.fingerprint()
+        assert base.fingerprint() != extra_node.fingerprint()
+
+    def test_fingerprint_is_memoised(self, triangle_graph):
+        assert triangle_graph.fingerprint() is triangle_graph.fingerprint()
+        assert len(triangle_graph.fingerprint()) == 32

@@ -286,6 +286,24 @@ class TestWorkerStateInProcess:
             assert outcome.cache_hit is False
             assert state.cache_stats() is None
 
+    def test_reset_cache_stats_zeroes_counters_keeps_entries(self, graph):
+        with SharedGraphHandle.export(graph) as handle:
+            state = _WorkerState(handle.descriptor, cache_bytes=1 << 20)
+            task = StageTask(0, 5, 3, 1.0, 0.85)
+            state.run_task(task, None)
+            state.reset_cache_stats()
+            counters = state.cache_stats()
+            assert counters.hits == counters.misses == 0
+            # The entry stayed warm: the next lookup is a hit.
+            outcome, _ = state.run_task(task, None)
+            assert outcome.cache_hit is True
+
+    def test_backend_reset_cache_stats_degrades_when_not_running(self):
+        backend = ProcessPoolBackend(num_workers=1)
+        backend.reset_cache_stats()  # no workers: bounded no-op, no raise
+        cacheless = ProcessPoolBackend(num_workers=1, cache_bytes=None)
+        cacheless.reset_cache_stats()
+
     def test_shard_mode_matches_router(self, graph):
         partition = partition_graph(graph, 3, strategy="hash", halo_depth=3)
         router = ShardRouter(partition, cache_bytes=None)

@@ -1,0 +1,128 @@
+"""Smoke and schema tests for the E13 result-cache study and its benchmark.
+
+The result-cache benchmark promises the same JSON contract as the other
+serving benchmarks (a ``runs`` list with ``label``/``throughput_qps``),
+which is what lets ``benchmarks/check_regression.py`` gate it against the
+committed ``benchmarks/baselines/result_cache.json`` uniformly — so the
+study schema, the bench script and the baseline are tested side by side
+here (mirroring ``tests/test_process_study.py``).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.result_cache_study import (
+    format_result_cache,
+    run_result_cache_study,
+)
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def load_bench_module(name):
+    """Import a benchmark script by file path (benchmarks/ is not a package)."""
+    spec = importlib.util.spec_from_file_location(name, BENCH_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestResultCacheStudySchema:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_result_cache_study(
+            num_queries=24, num_seeds=6, skews=(0.0, 1.1)
+        )
+
+    def test_runs_cover_the_sweep(self, study):
+        labels = [run.label for run in study.runs]
+        assert labels == ["zipf0:off", "zipf0:on", "zipf1.1:off", "zipf1.1:on"]
+        by_label = study.by_label()
+        assert by_label["zipf1.1:on"].cached is True
+        assert by_label["zipf1.1:off"].cached is False
+
+    def test_cached_runs_report_hit_rate_and_speedup(self, study):
+        for run in study.runs:
+            if run.cached:
+                assert run.result_cache_hit_rate is not None
+                assert 0.0 <= run.result_cache_hit_rate <= 1.0
+                assert run.speedup_vs_uncached is not None
+                assert run.speedup_vs_uncached > 0.0
+            else:
+                assert run.result_cache_hit_rate is None
+                assert run.speedup_vs_uncached is None
+
+    def test_hot_stream_actually_hits(self, study):
+        # 24 arrivals over 6 seeds: at most 6 misses even uniformly, so the
+        # hit rate must clear 50% — otherwise the study measured a cold
+        # cache and its speedups are meaningless.
+        assert study.by_label()["zipf1.1:on"].result_cache_hit_rate > 0.5
+
+    def test_as_dict_schema(self, study):
+        payload = study.as_dict()
+        assert set(payload) == {
+            "dataset",
+            "backend",
+            "num_queries",
+            "num_seeds",
+            "k",
+            "stage_lengths",
+            "selection_ratio",
+            "skews",
+            "runs",
+        }
+        for run in payload["runs"]:
+            assert set(run) == {
+                "label",
+                "skew",
+                "cached",
+                "num_queries",
+                "wall_seconds",
+                "throughput_qps",
+                "mean_latency_seconds",
+                "result_cache_hit_rate",
+                "subgraph_hit_rate",
+                "speedup_vs_uncached",
+            }
+            assert run["throughput_qps"] > 0.0
+        document = json.dumps(payload)
+        assert '"throughput_qps"' in document
+
+    def test_format_renders_every_run(self, study):
+        table = format_result_cache(study)
+        assert "E13" in table
+        for run in study.runs:
+            assert run.label in table
+
+
+class TestResultCacheBenchScript:
+    def test_bench_json_contract(self):
+        bench = load_bench_module("bench_result_cache")
+        study = bench.run_benchmark(num_queries=16, num_seeds=4, skews=(1.1,))
+        payload = json.loads(bench.study_json(study))
+        assert [run["label"] for run in payload["runs"]] == [
+            "zipf1.1:off",
+            "zipf1.1:on",
+        ]
+        for run in payload["runs"]:
+            assert run["throughput_qps"] > 0.0
+
+    def test_committed_baseline_matches_bench_labels(self):
+        document = json.loads(
+            (BENCH_DIR / "baselines" / "result_cache.json").read_text()
+        )
+        metrics = document["metrics"]
+        assert metrics, "result_cache baseline has no metrics"
+        assert {"zipf1.1:off", "zipf1.1:on"} <= set(metrics)
+        for value in metrics.values():
+            assert value > 0.0
+        # The committed baseline itself must witness the 2x acceptance
+        # claim, or the gate would happily pin a regressed ratio.
+        assert metrics["zipf1.1:on"] / metrics["zipf1.1:off"] > 2.0

@@ -239,3 +239,72 @@ class TestStats:
         assert_results_identical(results, expected)
         for result in results:
             assert result.metadata["serving"]["backend"] == "serial"
+
+
+def all_cache_counters_zero(cache_stats):
+    """True when every *historical* counter of a CacheStats is zero."""
+    return (
+        cache_stats.hits
+        == cache_stats.misses
+        == cache_stats.evictions
+        == cache_stats.rejected
+        == cache_stats.expired
+        == 0
+    )
+
+
+class TestResetStatsCoversEveryCounterSource:
+    """Regression: per-interval resets must reach *all* aggregated counters.
+
+    ``stats()`` folds several counter sources into one snapshot — the
+    engine accumulator, the router's per-shard/fallback/result caches, the
+    engine-level caches, and a stage-task backend's worker caches.
+    ``reset_stats(reset_cache_stats=True)`` historically reset only the
+    engine-side sources, so the first interval report after a reset still
+    carried stale cache counters (observed as impossible per-interval hit
+    rates in server metrics).
+    """
+
+    def test_sharded_reset_zeroes_per_shard_and_result_counters(
+        self, small_ba_graph, queries
+    ):
+        from repro.graph.partition import partition_graph
+        from repro.serving import ShardRouter
+
+        partition = partition_graph(small_ba_graph, 3, strategy="hash", halo_depth=3)
+        router = ShardRouter(partition, result_cache_bytes=16 << 20)
+        with QueryEngine(MeLoPPRSolver(small_ba_graph), router=router) as engine:
+            engine.solve_batch(queries)
+            engine.reset_stats(reset_cache_stats=True)
+            stats = engine.stats()
+        assert stats.queries_served == 0
+        assert all_cache_counters_zero(stats.cache)
+        assert all_cache_counters_zero(stats.result_cache)
+        for shard in stats.router.shards:
+            assert shard.local_extractions == 0
+            assert all_cache_counters_zero(shard.cache)
+            assert all_cache_counters_zero(shard.result_cache)
+
+    def test_process_backend_reset_zeroes_worker_cache_counters(
+        self, small_ba_graph, queries
+    ):
+        from repro.serving import ProcessPoolBackend, ScoreTableCache
+
+        backend = ProcessPoolBackend(num_workers=2, cache_bytes=16 << 20)
+        with QueryEngine(
+            MeLoPPRSolver(small_ba_graph),
+            backend=backend,
+            result_cache=ScoreTableCache(),
+        ) as engine:
+            engine.solve_batch(queries)
+            before = engine.stats()
+            assert before.cache.lookups > 0  # worker caches saw traffic
+            engine.reset_stats(reset_cache_stats=True)
+            stats = engine.stats()
+        assert stats.queries_served == 0
+        # The regression: worker-side counters used to survive the reset and
+        # leak into the next interval's aggregate.
+        assert all_cache_counters_zero(stats.cache)
+        assert all_cache_counters_zero(stats.result_cache)
+        # Warm entries survive — only history was zeroed.
+        assert stats.cache.num_entries > 0

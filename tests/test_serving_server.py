@@ -422,6 +422,61 @@ class TestServerCLIConstruction:
         try:
             assert engine.cache is None
             assert engine.backend.name == "serial"
+            # --no-cache means ALL caching off: a surviving result cache
+            # would silently invalidate an operator's uncached baseline.
+            assert engine.result_cache is None
+        finally:
+            engine.close()
+
+        # ...unless an explicit --result-cache-bytes overrides it.
+        args = build_parser().parse_args(
+            ["--no-cache", "--backend", "serial", "--result-cache-bytes", "65536"]
+        )
+        engine, _, _ = build_frontend(args)
+        try:
+            assert engine.cache is None
+            assert engine.result_cache is not None
+        finally:
+            engine.close()
+
+    def test_build_frontend_result_cache_flags(self):
+        from repro.serving.frontend.server import build_frontend, build_parser
+
+        args = build_parser().parse_args(
+            [
+                "--backend",
+                "serial",
+                "--result-cache-bytes",
+                "65536",
+                "--result-cache-ttl",
+                "30",
+            ]
+        )
+        engine, _, _ = build_frontend(args)
+        try:
+            assert engine.result_cache.max_bytes == 65536
+            assert engine.result_cache.ttl_seconds == 30.0
+        finally:
+            engine.close()
+
+        args = build_parser().parse_args(
+            ["--backend", "serial", "--result-cache-bytes", "0"]
+        )
+        engine, _, _ = build_frontend(args)
+        try:
+            assert engine.result_cache is None
+        finally:
+            engine.close()
+
+        # A non-positive TTL means "no TTL" (same 0-disables convention as
+        # the bytes flag), not a ValueError at server startup.
+        args = build_parser().parse_args(
+            ["--backend", "serial", "--result-cache-ttl", "0"]
+        )
+        engine, _, _ = build_frontend(args)
+        try:
+            assert engine.result_cache is not None
+            assert engine.result_cache.ttl_seconds is None
         finally:
             engine.close()
 

@@ -1,22 +1,31 @@
-"""Concurrency stress tests: SubgraphCache and ShardRouter under contention.
+"""Concurrency stress tests: the serving caches and engine under contention.
 
-Many threads hammer a cache with a byte budget small enough that entries are
-constantly evicted, which is where LRU bookkeeping bugs (double-counted
-bytes, lost evictions, counter drift) live.  After the storm the cache's
-invariants must hold exactly: ``current_bytes`` equals the sum of the
-retained entries' sizes, the budget is respected, and ``hits + misses``
-equals the number of lookups the threads actually performed.
+Many threads hammer a cache (:class:`SubgraphCache`, :class:`ShardRouter`,
+or the cross-query :class:`ScoreTableCache`) with a byte budget small enough
+that entries are constantly evicted, which is where LRU bookkeeping bugs
+(double-counted bytes, lost evictions, counter drift) live.  After the storm
+the cache's invariants must hold exactly: ``current_bytes`` equals the sum
+of the retained entries' sizes, the budget is respected, and
+``hits + misses`` equals the number of lookups the threads actually
+performed.  The engine-level storms additionally reconcile
+``EngineStats`` — queries served, batches, latency samples and the merged
+cache counters must account for every operation with no under- or
+over-count.
 """
 
 from __future__ import annotations
 
 import threading
 
+import numpy as np
 import pytest
 
 from repro.graph.bfs import extract_ego_subgraph
 from repro.graph.partition import partition_graph
-from repro.serving import ShardRouter, SubgraphCache
+from repro.meloppr.solver import MeLoPPRSolver
+from repro.ppr.base import PPRQuery
+from repro.serving import QueryEngine, ScoreTableCache, ShardRouter, SubgraphCache
+from repro.serving.result_cache import _entry_nbytes as result_entry_nbytes
 
 NUM_THREADS = 8
 OPS_PER_THREAD = 60
@@ -171,3 +180,141 @@ class TestCacheValidate:
         cache._current_bytes += 1  # simulate bookkeeping drift
         with pytest.raises(AssertionError):
             cache.validate()
+
+
+def zipf_seeds(num_candidates, num_draws, skew=1.1, rng=7):
+    """A Zipf-skewed hot-seed stream over ``num_candidates`` seeds."""
+    ranks = np.arange(1, num_candidates + 1, dtype=np.float64)
+    probabilities = ranks**-skew
+    probabilities /= probabilities.sum()
+    generator = np.random.default_rng(rng)
+    return generator.choice(num_candidates, size=num_draws, p=probabilities)
+
+
+class TestScoreTableCacheStress:
+    """Threads hammer one engine's result cache while it evicts constantly."""
+
+    def test_zipf_hammer_under_tiny_budget(self, small_ba_graph):
+        # Budget ~2 entries: the Zipf tail forces constant eviction while
+        # the hot head keeps re-installing — the LRU bookkeeping stress point.
+        probe_cache = ScoreTableCache()
+        probe_engine = QueryEngine(
+            MeLoPPRSolver(small_ba_graph), result_cache=probe_cache
+        )
+        probe_engine.solve_batch([PPRQuery(seed=0, k=20, length=6)])
+        probe_engine.close()
+        (entry,) = probe_cache._entries.values()
+        budget = 2 * result_entry_nbytes(entry[0])
+
+        cache = ScoreTableCache(max_bytes=budget)
+        engine = QueryEngine(
+            MeLoPPRSolver(small_ba_graph),
+            cache=SubgraphCache(),
+            result_cache=cache,
+        )
+        centers = list(range(0, small_ba_graph.num_nodes, 7))
+        streams = [
+            zipf_seeds(len(centers), OPS_PER_THREAD, rng=100 + index)
+            for index in range(NUM_THREADS)
+        ]
+
+        def worker(index):
+            for pick in streams[index]:
+                query = PPRQuery(seed=centers[int(pick)], k=20, length=6)
+                (result,) = engine.solve_batch([query])
+                assert result.metadata["serving"]["result_cache"] in (
+                    "hit",
+                    "miss",
+                )
+
+        try:
+            run_threads(worker)
+        finally:
+            engine.close()
+
+        cache.validate()
+        stats = engine.stats()
+        total_ops = NUM_THREADS * OPS_PER_THREAD
+        # No under/over-count anywhere: every query consulted the cache
+        # exactly once, and the engine accumulator saw every batch.
+        assert stats.queries_served == total_ops
+        assert stats.batches == total_ops
+        rc = stats.result_cache
+        assert rc.hits + rc.misses == rc.lookups == total_ops
+        # The tiny budget must have forced real evictions (the stress point).
+        assert rc.evictions > 0
+        assert rc.current_bytes <= cache.max_bytes
+        # The engine-level aggregate folds sub-graph + result counters; the
+        # totals must reconcile exactly once the engine is quiesced.
+        subgraph_stats = engine.cache.stats
+        assert stats.cache.hits == subgraph_stats.hits + rc.hits
+        assert stats.cache.misses == subgraph_stats.misses + rc.misses
+
+    def test_direct_put_get_thrash_keeps_invariants(self, small_ba_graph):
+        # Container-level storm: concurrent put/get/invalidate on shared
+        # states with a budget of ~2 entries.
+        solver = MeLoPPRSolver(small_ba_graph)
+        centers = list(range(0, small_ba_graph.num_nodes, 11))
+        from repro.meloppr.planner import execute_stage_task
+        from repro.serving import stage_one_cache_key
+
+        entries = {}
+        for center in centers:
+            plan = solver.plan(PPRQuery(seed=center, k=20), track_memory=False)
+            key = stage_one_cache_key(plan)
+            plan.complete_stage(
+                execute_stage_task(plan.graph, task, timing=plan.timing)
+                for task in plan.pending_tasks
+            )
+            entries[center] = (key, plan.stage_one_state())
+            plan.close()
+        budget = 2 * max(
+            result_entry_nbytes(state) for _, state in entries.values()
+        )
+        cache = ScoreTableCache(max_bytes=budget)
+        lookups = [0] * NUM_THREADS
+
+        def worker(index):
+            for step in range(OPS_PER_THREAD):
+                center = centers[(index * 31 + step * 7) % len(centers)]
+                key, state = entries[center]
+                if step % 3 == 0:
+                    cache.put(key, state)
+                elif step % 7 == 0:
+                    cache.invalidate(key)
+                else:
+                    cache.get(key)
+                    lookups[index] += 1
+
+        run_threads(worker)
+        cache.validate()
+        stats = cache.stats
+        assert stats.hits + stats.misses == sum(lookups)
+        assert stats.current_bytes <= budget
+
+
+class TestEngineStatsConcurrency:
+    """solve_batch from many threads must never drop or double a counter."""
+
+    def test_concurrent_batches_count_exactly(self, small_ba_graph):
+        engine = QueryEngine(
+            MeLoPPRSolver(small_ba_graph),
+            cache=SubgraphCache(),
+            result_cache=ScoreTableCache(),
+        )
+        batch = [PPRQuery(seed=seed, k=15, length=6) for seed in (3, 9, 3)]
+
+        def worker(index):
+            for _ in range(OPS_PER_THREAD // 4):
+                engine.solve_batch(batch)
+
+        try:
+            run_threads(worker)
+        finally:
+            engine.close()
+        stats = engine.stats()
+        batches = NUM_THREADS * (OPS_PER_THREAD // 4)
+        assert stats.batches == batches
+        assert stats.queries_served == batches * len(batch)
+        assert stats.latency.count == batches * len(batch)
+        assert stats.result_cache.lookups == batches * len(batch)
