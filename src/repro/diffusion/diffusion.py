@@ -29,6 +29,7 @@ from typing import Union
 
 import numpy as np
 
+from repro.diffusion.kernels import DiffusionKernel
 from repro.diffusion.transition import TransitionOperator
 from repro.graph.csr import CSRGraph
 from repro.utils.validation import (
@@ -91,15 +92,17 @@ def graph_diffusion(
     initial: np.ndarray,
     length: int,
     alpha: float = DEFAULT_ALPHA,
+    kernel: Union[str, DiffusionKernel, None] = None,
 ) -> DiffusionResult:
     """Compute ``GD(length)(initial)`` on a graph.
 
     Parameters
     ----------
     graph_or_operator:
-        Either a :class:`CSRGraph` (a :class:`TransitionOperator` is built
-        internally) or a pre-built operator (preferred when diffusing many
-        vectors over the same graph).
+        Either a :class:`CSRGraph` (the memoised
+        :meth:`TransitionOperator.for_graph` operator is used, so repeated
+        diffusions over a cached sub-graph share one operator) or a
+        pre-built operator.
     initial:
         Dense initial vector ``S0`` over the graph's nodes.  For PPR this is a
         one-hot vector at the seed node (:func:`seed_vector`), but the stage
@@ -108,6 +111,10 @@ def graph_diffusion(
         Number of propagation steps ``l >= 0``.
     alpha:
         Decay factor in ``[0, 1]``.
+    kernel:
+        Propagation kernel selection (see :mod:`repro.diffusion.kernels`);
+        ``None`` keeps the operator's kernel (or the environment default).
+        Every kernel yields bit-identical scores.
 
     Returns
     -------
@@ -127,11 +134,12 @@ def graph_diffusion(
     ``accumulated == residual == initial``, which makes the
     stage-decomposition identity of Eq. 6 hold for degenerate splits.
     """
-    operator = (
-        graph_or_operator
-        if isinstance(graph_or_operator, TransitionOperator)
-        else TransitionOperator(graph_or_operator)
-    )
+    if isinstance(graph_or_operator, TransitionOperator):
+        operator = graph_or_operator
+        if kernel is not None:
+            operator = operator.with_kernel(kernel)
+    else:
+        operator = TransitionOperator.for_graph(graph_or_operator, kernel)
     length = check_non_negative_int(length, "length")
     alpha = check_probability(alpha, "alpha")
 
@@ -141,14 +149,18 @@ def graph_diffusion(
             f"initial must have shape ({operator.num_nodes},), got {initial.shape}"
         )
 
-    degrees = operator.graph.degrees()
+    # The loop talks to the kernel directly (shape validated once above):
+    # apply_counted returns the propagation-work count as a by-product, so
+    # no per-step mask + fancy-index pass over the degree array is needed.
+    structure = operator.structure
+    step_kernel = operator.kernel
     residual = initial.copy()
     accumulated = np.zeros_like(initial)
     propagations = 0
     for step in range(length):
         accumulated += (1.0 - alpha) * (alpha**step) * residual
-        propagations += int(degrees[residual != 0.0].sum())
-        residual = operator.apply(residual)
+        residual, touched = step_kernel.apply_counted(structure, residual)
+        propagations += touched
     accumulated += (alpha**length) * residual
 
     return DiffusionResult(

@@ -2,18 +2,29 @@
 
 Graph diffusion (Eq. 1 of the paper) repeatedly applies the column-stochastic
 random-walk matrix ``W = A D^-1`` to a score vector.  This module provides
-that operator over :class:`~repro.graph.csr.CSRGraph` without materialising a
-second sparse matrix: the CSR adjacency arrays are reused directly, which is
-exactly how the FPGA sub-graph table of the paper stores neighbour lists.
+that operator over :class:`~repro.graph.csr.CSRGraph`; the actual propagation
+arithmetic is delegated to a pluggable
+:class:`~repro.diffusion.kernels.DiffusionKernel` (bit-identical across
+implementations — see :mod:`repro.diffusion.kernels`), while the per-graph
+precomputation (degrees, row ids, CSR matrices) is built once per topology
+and shared via :func:`~repro.diffusion.kernels.structure_for`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 from scipy import sparse
 
+from repro.diffusion.kernels import (
+    DiffusionKernel,
+    GraphStructure,
+    _slice_positions,
+    make_kernel,
+    resolve_kernel_name,
+    structure_for,
+)
 from repro.graph.csr import CSRGraph
 
 __all__ = ["TransitionOperator"]
@@ -26,6 +37,12 @@ class TransitionOperator:
     ----------
     graph:
         The graph whose random-walk matrix to apply.
+    kernel:
+        Propagation kernel: a registered name (``"reference"``, ``"csr"``,
+        ``"frontier"``, ``"numba"``), ``"auto"``, a
+        :class:`~repro.diffusion.kernels.DiffusionKernel` instance, or
+        ``None`` for the environment default.  All kernels produce
+        bit-identical scores; the choice is purely a speed knob.
 
     Notes
     -----
@@ -34,14 +51,60 @@ class TransitionOperator:
     neighbours — the *propagation* step (``pg1``, ``pg2`` … in Fig. 1).
     Isolated nodes keep a column of zeros, i.e. their score evaporates, which
     matches the paper's treatment (a walk at a dangling node terminates).
+
+    Construction is cheap for a repeated topology: the operator structure is
+    fetched from a fingerprint-keyed cache, and :meth:`for_graph` memoises
+    whole operators on the graph object itself — so a cached ego sub-graph
+    (serving caches, process-pool workers) carries its operator along and a
+    stage task never rebuilds ``O(E)`` arrays per diffusion.
     """
 
-    def __init__(self, graph: CSRGraph) -> None:
+    def __init__(
+        self,
+        graph: CSRGraph,
+        kernel: Union[str, DiffusionKernel, None] = None,
+    ) -> None:
         self._graph = graph
-        degrees = graph.degrees().astype(np.float64)
-        with np.errstate(divide="ignore"):
-            inverse = np.where(degrees > 0, 1.0 / degrees, 0.0)
-        self._inverse_degrees = inverse
+        self._structure = structure_for(graph)
+        self._kernel = make_kernel(kernel)
+        self._inverse_degrees = self._structure.inverse_degrees
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_graph(
+        cls,
+        graph: CSRGraph,
+        kernel: Union[str, DiffusionKernel, None] = None,
+    ) -> "TransitionOperator":
+        """The memoised operator of ``graph`` for the resolved kernel.
+
+        Stored on the graph object (one entry per kernel name), so repeated
+        diffusions over the same — typically cached — sub-graph reuse one
+        operator instead of rebuilding it per stage task.  The memo never
+        pickles with the graph; a worker process rebuilds it on first use
+        from its own (shared-memory) arrays.
+        """
+        name = resolve_kernel_name(kernel)
+        memo = graph._operator_memo
+        if memo is None:
+            memo = {}
+            graph._operator_memo = memo
+        operator = memo.get(name)
+        if operator is None:
+            operator = cls(
+                graph, kernel if isinstance(kernel, DiffusionKernel) else name
+            )
+            memo[name] = operator
+        return operator
+
+    def with_kernel(
+        self, kernel: Union[str, DiffusionKernel, None]
+    ) -> "TransitionOperator":
+        """This operator with a different kernel (structure shared)."""
+        resolved = make_kernel(kernel)
+        if resolved is self._kernel:
+            return self
+        return type(self).for_graph(self._graph, resolved)
 
     # ------------------------------------------------------------------
     @property
@@ -54,34 +117,58 @@ class TransitionOperator:
         """Number of nodes of the underlying graph."""
         return self._graph.num_nodes
 
-    # ------------------------------------------------------------------
-    def apply(self, scores: np.ndarray) -> np.ndarray:
-        """Return ``W @ scores`` for a dense score vector.
+    @property
+    def kernel(self) -> DiffusionKernel:
+        """The propagation kernel in use."""
+        return self._kernel
 
-        The implementation is a scatter over the CSR structure: each node
-        ``v`` pushes ``scores[v] / degree(v)`` to every neighbour.
-        """
-        scores = np.asarray(scores, dtype=np.float64)
+    @property
+    def structure(self) -> GraphStructure:
+        """The shared per-topology operator structure."""
+        return self._structure
+
+    # ------------------------------------------------------------------
+    def _check_scores(self, scores: np.ndarray, dtype) -> np.ndarray:
+        scores = np.asarray(scores, dtype=dtype)
         if scores.shape != (self.num_nodes,):
             raise ValueError(
                 f"scores must have shape ({self.num_nodes},), got {scores.shape}"
             )
-        contribution = scores * self._inverse_degrees
-        # Each adjacency entry (v -> neighbor) receives contribution[v]; for
-        # the undirected CSR this is symmetric, so we can gather instead of
-        # scatter: result[u] = sum over neighbors v of contribution[v].
-        graph = self._graph
-        gathered = contribution[graph.indices]
-        result = np.zeros(self.num_nodes, dtype=np.float64)
-        np.add.at(result, np.repeat(np.arange(self.num_nodes), graph.degrees()), gathered)
-        return result
+        return scores
+
+    def apply(self, scores: np.ndarray) -> np.ndarray:
+        """Return ``W @ scores`` for a dense score vector."""
+        return self._kernel.apply(
+            self._structure, self._check_scores(scores, np.float64)
+        )
+
+    def apply_counted(self, scores: np.ndarray) -> tuple[np.ndarray, int]:
+        """Return ``(W @ scores, adjacency entries touched)``.
+
+        The count is the propagation-work metric of the paper (the sum of
+        the degrees of the non-zero entries); frontier-style kernels report
+        it as a by-product of the gather, so callers never pay a separate
+        mask-and-sum pass per step.
+        """
+        return self._kernel.apply_counted(
+            self._structure, self._check_scores(scores, np.float64)
+        )
+
+    def propagate_int(self, values: np.ndarray) -> np.ndarray:
+        """Exact integer scatter ``A @ values`` (the fixed-point datapath)."""
+        return self._kernel.propagate_int(
+            self._structure, self._check_scores(values, np.int64)
+        )
 
     def apply_sparse(self, nodes: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Apply ``W`` to a sparse vector given as ``(nodes, values)``.
 
         Only the non-zero entries are propagated — this is the kernel the
         FPGA diffuser runs, where the frontier of non-zero scores is small in
-        the first iterations.
+        the first iterations.  The gather is a batched ``indptr`` slicing
+        over the active entries (no per-node Python loop), preserving the
+        historical semantics exactly: entries are expanded in input order
+        and summed per target in that same order.
 
         Returns
         -------
@@ -92,23 +179,26 @@ class TransitionOperator:
         values = np.asarray(values, dtype=np.float64)
         if nodes.shape != values.shape:
             raise ValueError("nodes and values must have the same shape")
-        graph = self._graph
-        out_nodes: list[np.ndarray] = []
-        out_values: list[np.ndarray] = []
-        for node, value in zip(nodes, values):
-            if value == 0.0:
-                continue
-            neighbors = graph.neighbors(int(node))
-            if neighbors.size == 0:
-                continue
-            out_nodes.append(neighbors.astype(np.int64))
-            out_values.append(
-                np.full(neighbors.size, value * self._inverse_degrees[node])
+        empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+        if nodes.size == 0:
+            return empty
+        if nodes.min() < 0 or nodes.max() >= self.num_nodes:
+            raise ValueError(
+                f"nodes contain ids outside [0, {self.num_nodes})"
             )
-        if not out_nodes:
-            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
-        all_nodes = np.concatenate(out_nodes)
-        all_values = np.concatenate(out_values)
+        structure = self._structure
+        keep = (values != 0.0) & (structure.degrees[nodes] > 0)
+        active = nodes[keep]
+        if active.size == 0:
+            return empty
+        active_values = values[keep]
+        counts = structure.degrees[active]
+        total = int(counts.sum())
+        positions = _slice_positions(structure.indptr[active], counts, total)
+        all_nodes = structure.indices[positions].astype(np.int64)
+        all_values = np.repeat(
+            active_values * structure.inverse_degrees[active], counts
+        )
         unique, inverse = np.unique(all_nodes, return_inverse=True)
         summed = np.zeros(unique.size, dtype=np.float64)
         np.add.at(summed, inverse, all_values)
@@ -123,7 +213,13 @@ class TransitionOperator:
         """Return ``W^power @ scores``."""
         if power < 0:
             raise ValueError(f"power must be >= 0, got {power}")
-        result = np.asarray(scores, dtype=np.float64).copy()
+        result = self._check_scores(scores, np.float64).copy()
         for _ in range(power):
-            result = self.apply(result)
+            result = self._kernel.apply(self._structure, result)
         return result
+
+    def __repr__(self) -> str:
+        return (
+            f"TransitionOperator(graph={self._graph!r}, "
+            f"kernel={self._kernel.name!r})"
+        )

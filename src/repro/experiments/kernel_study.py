@@ -1,0 +1,317 @@
+"""Experiment E14 — diffusion-kernel study (exactness + throughput).
+
+This study is not a paper artefact: it characterises the pluggable
+diffusion kernels of :mod:`repro.diffusion.kernels`.  Every registered
+kernel (plus the ``auto`` selector) diffuses the same seed vectors over the
+same ego sub-graph; the study
+
+* verifies each kernel is **bit-identical** to the ``reference`` kernel
+  (``np.array_equal`` on accumulated and residual scores and an exact match
+  on the propagation-work counter) over both sparse (one-hot) and dense
+  (random) initial vectors,
+* measures each kernel's diffusion throughput and its speedup over the
+  reference ``np.add.at`` implementation, and
+* re-answers one full MeLoPPR query per kernel and checks the top-k list
+  never changes — kernels must be a pure performance choice.
+
+A kernel that changes any score aborts the study with ``AssertionError``;
+there is no tolerance, because the kernels' contract is exactness, not
+closeness.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.diffusion.diffusion import graph_diffusion, seed_vector
+from repro.diffusion.kernels import (
+    KERNEL_ENV_VAR,
+    available_kernels,
+    make_kernel,
+    resolve_kernel_name,
+)
+from repro.experiments.reporting import format_ratio, format_table
+from repro.graph.bfs import extract_ego_subgraph
+from repro.graph.datasets import load_dataset
+from repro.meloppr.config import MeLoPPRConfig
+from repro.meloppr.selection import RatioSelector
+from repro.meloppr.solver import MeLoPPRSolver
+
+__all__ = ["KernelRun", "KernelStudy", "run_kernel_study", "format_kernels"]
+
+
+@dataclass(frozen=True)
+class KernelRun:
+    """One kernel's measurements over the study workload."""
+
+    label: str
+    resolved: str
+    jit_enabled: Optional[bool]
+    num_diffusions: int
+    wall_seconds: float
+    throughput_qps: float
+    speedup_vs_reference: float
+    propagations: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON emission."""
+        return {
+            "label": self.label,
+            "resolved": self.resolved,
+            "jit_enabled": self.jit_enabled,
+            "num_diffusions": self.num_diffusions,
+            "wall_seconds": self.wall_seconds,
+            "throughput_qps": self.throughput_qps,
+            "speedup_vs_reference": self.speedup_vs_reference,
+            "propagations": self.propagations,
+        }
+
+
+@dataclass(frozen=True)
+class KernelStudy:
+    """The kernel sweep over one diffusion workload."""
+
+    dataset: str
+    center: int
+    depth: int
+    length: int
+    num_nodes: int
+    num_edges: int
+    runs: Tuple[KernelRun, ...]
+
+    def by_label(self) -> Dict[str, KernelRun]:
+        """Runs keyed by kernel label."""
+        return {run.label: run for run in self.runs}
+
+    @property
+    def baseline(self) -> KernelRun:
+        """The reference-kernel run."""
+        return self.by_label()["reference"]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON emission."""
+        return {
+            "dataset": self.dataset,
+            "center": self.center,
+            "depth": self.depth,
+            "length": self.length,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "runs": [run.as_dict() for run in self.runs],
+        }
+
+
+@contextlib.contextmanager
+def _kernel_env(name: str) -> Iterator[None]:
+    """Temporarily pin the environment-default kernel to ``name``."""
+    previous = os.environ.get(KERNEL_ENV_VAR)
+    os.environ[KERNEL_ENV_VAR] = name
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(KERNEL_ENV_VAR, None)
+        else:
+            os.environ[KERNEL_ENV_VAR] = previous
+
+
+def _study_config() -> MeLoPPRConfig:
+    """Paper-default solver config with memory tracking off (timing study)."""
+    return MeLoPPRConfig(
+        stage_lengths=(3, 3),
+        selector=RatioSelector(0.02),
+        score_table_factor=10,
+        track_memory=False,
+    )
+
+
+def _study_vectors(num_nodes: int, local_seed: int, rng: np.random.Generator) -> List[np.ndarray]:
+    """Sparse (one-hot) and dense initial vectors exercised for exactness."""
+    vectors = [seed_vector(num_nodes, local_seed)]
+    other = int(rng.integers(num_nodes))
+    vectors.append(seed_vector(num_nodes, other))
+    dense = rng.random(num_nodes)
+    vectors.append(dense / dense.sum())
+    return vectors
+
+
+def run_kernel_study(
+    dataset: str = "G3",
+    center: int = 123,
+    depth: int = 6,
+    length: int = 6,
+    alpha: float = 0.85,
+    repeats: int = 5,
+    k: int = 100,
+    kernels: Optional[Sequence[str]] = None,
+) -> KernelStudy:
+    """Sweep every diffusion kernel over one ego-sub-graph workload.
+
+    Parameters
+    ----------
+    dataset, center, depth:
+        Host graph and the ego sub-graph the diffusions run on (the default
+        matches the ``bench_kernels`` micro-benchmark workload).
+    length, alpha:
+        Diffusion shape.
+    repeats:
+        Timed diffusions per kernel (each repeat diffuses every study
+        vector once); a warm-up pass precedes the timed loop so one-off
+        structure construction is not billed to the first kernel.
+    k:
+        Top-k size of the per-kernel MeLoPPR equality check.
+    kernels:
+        Kernel labels to sweep; defaults to every registered kernel plus
+        ``auto``.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be > 0, got {repeats}")
+    graph = load_dataset(dataset)
+    subgraph, _ = extract_ego_subgraph(graph, center, depth)
+    local_seed = subgraph.to_local(center)
+    rng = np.random.default_rng(17)
+    vectors = _study_vectors(subgraph.graph.num_nodes, local_seed, rng)
+
+    labels = list(kernels) if kernels is not None else [*available_kernels(), "auto"]
+    # Reference first: every speedup is relative to its measured throughput.
+    labels = ["reference"] + [label for label in labels if label != "reference"]
+
+    # Reference answers first: every other kernel must reproduce them bit
+    # for bit (scores and the propagation-work counter alike).
+    reference = [
+        graph_diffusion(subgraph.graph, vector, length, alpha, kernel="reference")
+        for vector in vectors
+    ]
+    with _kernel_env("reference"):
+        reference_top_k = (
+            MeLoPPRSolver(graph, _study_config())
+            .solve_seed(seed=center, k=k, length=length)
+            .top_k_nodes()
+        )
+
+    runs: List[KernelRun] = []
+    reference_qps = 0.0
+    for label in labels:
+        kernel = make_kernel(label)
+        for expected, vector in zip(reference, vectors):
+            result = graph_diffusion(subgraph.graph, vector, length, alpha, kernel=kernel)
+            if not (
+                np.array_equal(result.accumulated, expected.accumulated)
+                and np.array_equal(result.residual, expected.residual)
+                and result.propagations == expected.propagations
+            ):
+                raise AssertionError(
+                    f"kernel {label} changed the diffusion output — kernels "
+                    "must be bit-identical to reference"
+                )
+        with _kernel_env(label):
+            top_k = (
+                MeLoPPRSolver(graph, _study_config())
+                .solve_seed(seed=center, k=k, length=length)
+                .top_k_nodes()
+            )
+        if top_k != reference_top_k:
+            raise AssertionError(
+                f"kernel {label} changed the MeLoPPR top-{k} answer"
+            )
+
+        # Timed loop (the exactness pass above doubles as warm-up).
+        start = time.perf_counter()
+        for _ in range(repeats):
+            for vector in vectors:
+                result = graph_diffusion(subgraph.graph, vector, length, alpha, kernel=kernel)
+        wall = time.perf_counter() - start
+        num_diffusions = repeats * len(vectors)
+        qps = num_diffusions / wall if wall > 0 else 0.0
+        if label == "reference":
+            reference_qps = qps
+        runs.append(
+            KernelRun(
+                label=label,
+                resolved=resolve_kernel_name(label),
+                jit_enabled=getattr(kernel, "jit_enabled", None),
+                num_diffusions=num_diffusions,
+                wall_seconds=wall,
+                throughput_qps=qps,
+                speedup_vs_reference=(qps / reference_qps if reference_qps > 0 else 0.0),
+                propagations=reference[0].propagations,
+            )
+        )
+    return KernelStudy(
+        dataset=dataset,
+        center=center,
+        depth=depth,
+        length=length,
+        num_nodes=subgraph.graph.num_nodes,
+        num_edges=subgraph.graph.num_edges,
+        runs=tuple(runs),
+    )
+
+
+def format_kernels(study: KernelStudy) -> str:
+    """Render the study as a text table."""
+    headers = [
+        "Kernel",
+        "Resolved",
+        "JIT",
+        "Diffusions/s",
+        "vs reference",
+        "Exact",
+    ]
+    rows = []
+    for run in study.runs:
+        rows.append(
+            [
+                run.label,
+                run.resolved,
+                "-" if run.jit_enabled is None else ("on" if run.jit_enabled else "fallback"),
+                f"{run.throughput_qps:.1f}",
+                format_ratio(run.speedup_vs_reference),
+                "yes",  # a non-exact kernel aborts the study
+            ]
+        )
+    title = (
+        f"E14 — diffusion kernels on {study.dataset} ego(center={study.center}, "
+        f"depth={study.depth}): {study.num_nodes} nodes / {study.num_edges} edges, "
+        f"length {study.length}"
+    )
+    return format_table(headers, rows, title=title)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point printing the table (and optionally JSON)."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="G3")
+    parser.add_argument("--center", type=int, default=123)
+    parser.add_argument("--depth", type=int, default=6)
+    parser.add_argument("--length", type=int, default=6)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--json", default=None, help="also write the JSON report here")
+    args = parser.parse_args(argv)
+
+    study = run_kernel_study(
+        dataset=args.dataset,
+        center=args.center,
+        depth=args.depth,
+        length=args.length,
+        repeats=args.repeats,
+    )
+    print(format_kernels(study))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(study.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI only
+    raise SystemExit(main())

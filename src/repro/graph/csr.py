@@ -46,7 +46,7 @@ class CSRGraph:
     this constructor with hand-built arrays.
     """
 
-    __slots__ = ("_indptr", "_indices", "_name", "_fingerprint")
+    __slots__ = ("_indptr", "_indices", "_name", "_fingerprint", "_operator_memo")
 
     def __init__(
         self,
@@ -77,6 +77,11 @@ class CSRGraph:
         self._indptr.setflags(write=False)
         self._indices.setflags(write=False)
         self._fingerprint: Optional[str] = None
+        # Per-kernel TransitionOperator memo (lazily created by
+        # TransitionOperator.for_graph).  Rides along with cached sub-graph
+        # objects so repeated diffusions never rebuild operator structure;
+        # deliberately excluded from pickling (see __getstate__).
+        self._operator_memo: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -243,6 +248,33 @@ class CSRGraph:
             digest.update(self._indices.data)
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle only the CSR arrays, the name and the fingerprint memo.
+
+        The operator memo holds derived kernel structure (scipy matrices,
+        row-id arrays) that is cheaper to rebuild than to ship — and in the
+        process-pool serving path the receiving side attaches its own
+        shared-memory arrays anyway.
+        """
+        return {
+            "indptr": self._indptr,
+            "indices": self._indices,
+            "name": self._name,
+            "fingerprint": self._fingerprint,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._indptr = state["indptr"]
+        self._indices = state["indices"]
+        self._name = state["name"]
+        self._fingerprint = state["fingerprint"]
+        self._indptr.setflags(write=False)
+        self._indices.setflags(write=False)
+        self._operator_memo = None
 
     # ------------------------------------------------------------------
     # Dunder methods

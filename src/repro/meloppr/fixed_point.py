@@ -25,6 +25,7 @@ from typing import Tuple, Union
 
 import numpy as np
 
+from repro.diffusion.kernels import DiffusionKernel
 from repro.diffusion.transition import TransitionOperator
 from repro.graph.csr import CSRGraph
 from repro.utils.validation import check_positive_int, check_probability
@@ -142,6 +143,7 @@ def fixed_point_diffusion(
     seed: int,
     length: int,
     fmt: FixedPointFormat,
+    kernel: Union[str, DiffusionKernel, None] = None,
 ) -> FixedPointDiffusionResult:
     """Integer-datapath graph diffusion, mirroring the FPGA PE.
 
@@ -160,12 +162,17 @@ def fixed_point_diffusion(
         Number of propagation steps.
     fmt:
         The integer format (seed magnitude and quantised alpha).
+    kernel:
+        Propagation kernel (see :mod:`repro.diffusion.kernels`).  The
+        integer scatter is exact under any summation order, so every kernel
+        yields identical results here too.
     """
-    operator = (
-        graph_or_operator
-        if isinstance(graph_or_operator, TransitionOperator)
-        else TransitionOperator(graph_or_operator)
-    )
+    if isinstance(graph_or_operator, TransitionOperator):
+        operator = graph_or_operator
+        if kernel is not None:
+            operator = operator.with_kernel(kernel)
+    else:
+        operator = TransitionOperator.for_graph(graph_or_operator, kernel)
     graph = operator.graph
     num_nodes = graph.num_nodes
     if not 0 <= seed < num_nodes:
@@ -188,10 +195,7 @@ def fixed_point_diffusion(
         accumulated += (term * one_minus_alpha_numerator) >> fmt.shift_bits
         # Propagate: each node pushes floor(score / degree) to every neighbour.
         per_neighbor = np.where(degrees > 0, residual // np.maximum(degrees, 1), 0)
-        next_residual = np.zeros(num_nodes, dtype=np.int64)
-        row_ids = np.repeat(np.arange(num_nodes), degrees)
-        np.add.at(next_residual, row_ids, per_neighbor[graph.indices])
-        residual = next_residual
+        residual = operator.propagate_int(per_neighbor)
         alpha_power = (alpha_power * fmt.alpha_numerator) >> fmt.shift_bits
     accumulated += (residual * alpha_power) >> fmt.shift_bits
 

@@ -30,11 +30,12 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.diffusion.diffusion import DiffusionResult, graph_diffusion, seed_vector
+from repro.diffusion.kernels import DiffusionKernel
 from repro.graph.bfs import BFSResult, extract_ego_subgraph
 from repro.graph.csr import CSRGraph
 from repro.graph.subgraph import Subgraph
@@ -605,6 +606,7 @@ def execute_stage_task(
     task: StageTask,
     extract: Optional[ExtractFn] = None,
     timing: Optional[TimingBreakdown] = None,
+    kernel: Union[str, DiffusionKernel, None] = None,
 ) -> StageTaskOutcome:
     """Run one stage task: extract (or fetch) the sub-graph and diffuse.
 
@@ -620,6 +622,11 @@ def execute_stage_task(
     timing:
         Breakdown receiving the ``bfs`` and ``diffusion`` wall-clock buckets
         (typically the owning plan's :attr:`MeLoPPRPlan.timing`).
+    kernel:
+        Diffusion kernel selection (see :mod:`repro.diffusion.kernels`);
+        scores are bit-identical for every kernel.  The diffusion reuses the
+        operator memoised on the extracted sub-graph, so a cached extraction
+        never rebuilds operator structure per task.
     """
     if extract is None:
         extract = default_extract
@@ -629,7 +636,9 @@ def execute_stage_task(
         subgraph, bfs, cache_hit = extract(graph, task.center, task.length)
     with timing.measure("diffusion"):
         initial = seed_vector(subgraph.num_nodes, subgraph.to_local(task.center))
-        diffusion = graph_diffusion(subgraph.graph, initial, task.length, task.alpha)
+        diffusion = graph_diffusion(
+            subgraph.graph, initial, task.length, task.alpha, kernel=kernel
+        )
     return StageTaskOutcome(
         task=task,
         subgraph=subgraph,
@@ -643,6 +652,7 @@ def execute_plan(
     plan: MeLoPPRPlan,
     extract: Optional[ExtractFn] = None,
     after_stage: Optional[Callable[[MeLoPPRPlan], None]] = None,
+    kernel: Union[str, DiffusionKernel, None] = None,
 ) -> PPRResult:
     """Drive a plan to completion with the serial reference executor.
 
@@ -651,11 +661,18 @@ def execute_plan(
     hooks its cross-query result cache there (snapshotting
     :meth:`MeLoPPRPlan.stage_one_state` after the first stage), so there is
     one serial drive loop in the library, not two hand-synchronised copies.
+    ``kernel`` selects the (bit-exact) diffusion kernel for every task.
     """
     try:
         while not plan.done:
             plan.complete_stage(
-                execute_stage_task(plan.graph, task, extract=extract, timing=plan.timing)
+                execute_stage_task(
+                    plan.graph,
+                    task,
+                    extract=extract,
+                    timing=plan.timing,
+                    kernel=kernel,
+                )
                 for task in plan.pending_tasks
             )
             if after_stage is not None:

@@ -274,8 +274,14 @@ class _WorkerState:
                 self._shards[attached.shard_id] = (attached, cache)
 
     # ------------------------------------------------------------------
-    def run_task(self, task, shard_id: Optional[int]):
-        """Execute one stage task; returns ``(outcome, timing_seconds)``."""
+    def run_task(self, task, shard_id: Optional[int], kernel: Optional[str] = None):
+        """Execute one stage task; returns ``(outcome, timing_seconds)``.
+
+        ``kernel`` is the parent-resolved diffusion-kernel name (shipped
+        with each task group); the memoised per-sub-graph operators it
+        selects live on the cached extraction objects, so a worker's
+        shm-attached cache carries warm operator structure across tasks.
+        """
         from repro.meloppr.planner import execute_stage_task
         from repro.utils.timing import TimingBreakdown
 
@@ -287,7 +293,7 @@ class _WorkerState:
                 else None
             )
             outcome = execute_stage_task(
-                self._host_graph, task, extract=extract, timing=timing
+                self._host_graph, task, extract=extract, timing=timing, kernel=kernel
             )
         else:
             outcome = execute_stage_task(
@@ -297,6 +303,7 @@ class _WorkerState:
                 task,
                 extract=self._shard_extract(shard_id),
                 timing=timing,
+                kernel=kernel,
             )
         return outcome, dict(timing.seconds)
 
@@ -375,7 +382,8 @@ def _process_worker_main(
     task — that overhead is what would otherwise eat the multi-core win on
     small sub-graphs:
 
-    * request ``("tasks", request_id, [(shard_id_or_None, StageTask), ...])``
+    * request ``("tasks", request_id, kernel_name,
+      [(shard_id_or_None, StageTask), ...])``
       → response ``("ok", request_id, [StageTaskOutcome, ...], timing_seconds)``
       or ``("err", request_id, exception)`` (the whole group fails)
     * request ``("stats", request_id)`` →
@@ -401,12 +409,12 @@ def _process_worker_main(
             break
         kind = item[0]
         if kind == "tasks":
-            _, request_id, entries = item
+            _, request_id, kernel_name, entries = item
             try:
                 outcomes = []
                 timing: Dict[str, float] = {}
                 for shard_id, task in entries:
-                    outcome, task_timing = state.run_task(task, shard_id)
+                    outcome, task_timing = state.run_task(task, shard_id, kernel_name)
                     outcomes.append(_compact_outcome(outcome))
                     for bucket, seconds in task_timing.items():
                         timing[bucket] = timing.get(bucket, 0.0) + seconds
@@ -476,11 +484,17 @@ class ProcessPoolBackend(ExecutionBackend):
         num_workers: Optional[int] = None,
         mp_context: Optional[str] = None,
         cache_bytes: Optional[int] = DEFAULT_CACHE_BYTES,
+        kernel: Optional[str] = None,
     ) -> None:
         if num_workers is not None and num_workers <= 0:
             raise ValueError(f"num_workers must be > 0, got {num_workers}")
         if cache_bytes is not None and cache_bytes <= 0:
             raise ValueError(f"cache_bytes must be > 0 or None, got {cache_bytes}")
+        # Default diffusion kernel for run_stage_tasks; resolved eagerly so
+        # bad specs fail at construction, not inside a worker.
+        from repro.diffusion.kernels import resolve_kernel_name
+
+        self._kernel = resolve_kernel_name(kernel)
         self._num_workers = num_workers if num_workers is not None else (os.cpu_count() or 1)
         if mp_context is not None and mp_context not in multiprocessing.get_all_start_methods():
             raise ValueError(
@@ -798,7 +812,12 @@ class ProcessPoolBackend(ExecutionBackend):
         # skew costs less than the lost reuse would.
         return ((task.center * _HASH_MULTIPLIER) >> 16) % self._num_workers
 
-    def _dispatch_group(self, queue_index: int, entries: List[Tuple[Optional[int], object]]) -> Future:
+    def _dispatch_group(
+        self,
+        queue_index: int,
+        kernel: str,
+        entries: List[Tuple[Optional[int], object]],
+    ) -> Future:
         """Send one worker its share of a stage as a single message."""
         with self._pending_lock:
             if self._broken is not None:
@@ -806,7 +825,7 @@ class ProcessPoolBackend(ExecutionBackend):
             request_id = next(self._task_ids)
             future: Future = Future()
             self._pending[request_id] = future
-        self._request_queues[queue_index].put(("tasks", request_id, entries))
+        self._request_queues[queue_index].put(("tasks", request_id, kernel, entries))
         return future
 
     def run_stage_tasks(
@@ -814,6 +833,7 @@ class ProcessPoolBackend(ExecutionBackend):
         tasks: Sequence,
         fallback: Optional[Callable] = None,
         timing=None,
+        kernel: Optional[str] = None,
     ) -> List:
         """Execute one stage's tasks, in order, on the worker pool.
 
@@ -833,6 +853,12 @@ class ProcessPoolBackend(ExecutionBackend):
         if not tasks:
             return []
         self._ensure_running()
+        if kernel is None:
+            kernel_name = self._kernel
+        else:
+            from repro.diffusion.kernels import resolve_kernel_name
+
+            kernel_name = resolve_kernel_name(kernel)
         partition = self._bound_partition
         slots: List[object] = [None] * len(tasks)
         groups: Dict[int, Tuple[List[int], List[Tuple[Optional[int], object]]]] = {}
@@ -850,7 +876,7 @@ class ProcessPoolBackend(ExecutionBackend):
             positions.append(position)
             entries.append((shard_id, task))
         remote = [
-            (positions, self._dispatch_group(queue_index, entries))
+            (positions, self._dispatch_group(queue_index, kernel_name, entries))
             for queue_index, (positions, entries) in groups.items()
         ]
         if local:
@@ -858,7 +884,11 @@ class ProcessPoolBackend(ExecutionBackend):
 
             for position, task in local:
                 slots[position] = execute_stage_task(
-                    partition.host, task, extract=fallback, timing=timing
+                    partition.host,
+                    task,
+                    extract=fallback,
+                    timing=timing,
+                    kernel=kernel_name,
                 )
         for positions, future in remote:
             outcomes, group_timing = future.result()

@@ -36,8 +36,9 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.diffusion.kernels import DiffusionKernel, resolve_kernel_name
 from repro.meloppr.planner import MeLoPPRPlan, execute_plan
 from repro.ppr.base import PPRQuery, PPRResult, PPRSolver
 from repro.serving.backends import ExecutionBackend, SerialBackend
@@ -193,6 +194,14 @@ class QueryEngine:
         ``ShardRouter(result_cache_bytes=...)``.  Compatible with every
         backend, including stage-task backends (the cache lives parent-side,
         so workers only ever see the stage-two tasks of a cached query).
+    kernel:
+        Diffusion-kernel selection for every stage task this engine runs
+        (see :mod:`repro.diffusion.kernels`): a registered name, ``"auto"``
+        or ``None`` for the environment default.  Resolved to a concrete
+        name once, at construction — in-process backends pass it to the
+        plan executor, stage-task backends ship it to their workers.  All
+        kernels are bit-identical, so this is purely a speed knob and
+        deliberately **not** part of any cache key.
 
     Example
     -------
@@ -214,6 +223,7 @@ class QueryEngine:
         cache: Optional[SubgraphCache] = None,
         router: Optional[ShardRouter] = None,
         result_cache: Optional[ScoreTableCache] = None,
+        kernel: Union[str, DiffusionKernel, None] = None,
     ) -> None:
         if cache is not None and router is not None:
             raise ValueError(
@@ -228,6 +238,9 @@ class QueryEngine:
             )
         self._solver = solver
         self._backend = backend if backend is not None else SerialBackend()
+        # Resolve eagerly: an unknown kernel name should fail at engine
+        # construction, not on the first query of a serving batch.
+        self._kernel = resolve_kernel_name(kernel)
         self._cache = cache
         self._router = router
         self._result_cache = result_cache
@@ -277,6 +290,11 @@ class QueryEngine:
     def backend(self) -> ExecutionBackend:
         """The execution backend."""
         return self._backend
+
+    @property
+    def kernel(self) -> str:
+        """Resolved diffusion-kernel name used for every stage task."""
+        return self._kernel
 
     @property
     def cache(self) -> Optional[SubgraphCache]:
@@ -416,12 +434,17 @@ class QueryEngine:
                     callback(done_plan)
 
         if not getattr(self._backend, "executes_stage_tasks", False):
-            return execute_plan(plan, extract=extract, after_stage=after_stage)
+            return execute_plan(
+                plan, extract=extract, after_stage=after_stage, kernel=self._kernel
+            )
         try:
             while not plan.done:
                 plan.complete_stage(
                     self._backend.run_stage_tasks(
-                        plan.pending_tasks, fallback=extract, timing=plan.timing
+                        plan.pending_tasks,
+                        fallback=extract,
+                        timing=plan.timing,
+                        kernel=self._kernel,
                     )
                 )
                 if after_stage is not None:

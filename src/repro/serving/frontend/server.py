@@ -343,6 +343,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="optional TTL (seconds) on cached stage-one tables (<= 0: none)",
     )
+    parser.add_argument(
+        "--kernel",
+        default=None,
+        help=(
+            "diffusion kernel: reference, csr, frontier, numba or auto "
+            "(default: the REPRO_DIFFUSION_KERNEL environment variable, "
+            "else auto); every kernel returns bit-identical scores"
+        ),
+    )
     return parser
 
 
@@ -397,6 +406,7 @@ def build_frontend(args: argparse.Namespace):
         backend=backend,
         cache=cache,
         result_cache=result_cache,
+        kernel=args.kernel,
     )
     policy = BatchPolicy(
         max_batch_size=args.max_batch,

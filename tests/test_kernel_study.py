@@ -1,0 +1,90 @@
+"""Smoke and schema tests for the E14 kernel study and its benchmark CLI."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.diffusion.kernels import available_kernels
+from repro.experiments.kernel_study import format_kernels, run_kernel_study
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def load_bench_module(name):
+    """Import a benchmark script by file path (benchmarks/ is not a package)."""
+    spec = importlib.util.spec_from_file_location(name, BENCH_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestKernelStudySchema:
+    @pytest.fixture(scope="class")
+    def study(self):
+        # Small workload: G1 ego, short diffusions, single timing repeat.
+        return run_kernel_study(
+            dataset="G1", center=42, depth=3, length=4, repeats=1, k=20
+        )
+
+    def test_runs_cover_every_kernel_plus_auto(self, study):
+        labels = [run.label for run in study.runs]
+        assert labels[0] == "reference"
+        assert set(labels) == set(available_kernels()) | {"auto"}
+
+    def test_auto_resolves_and_speedups_are_relative(self, study):
+        by_label = study.by_label()
+        assert by_label["auto"].resolved in available_kernels()
+        assert by_label["reference"].speedup_vs_reference == pytest.approx(1.0)
+        for run in study.runs:
+            assert run.throughput_qps > 0.0
+
+    def test_as_dict_schema(self, study):
+        document = study.as_dict()
+        assert document["dataset"] == "G1"
+        assert document["num_nodes"] > 0
+        for run in document["runs"]:
+            assert set(run) == {
+                "label",
+                "resolved",
+                "jit_enabled",
+                "num_diffusions",
+                "wall_seconds",
+                "throughput_qps",
+                "speedup_vs_reference",
+                "propagations",
+            }
+
+    def test_format_renders_every_run(self, study):
+        table = format_kernels(study)
+        for run in study.runs:
+            assert run.label in table
+
+    def test_non_reference_labels_must_include_reference(self):
+        study = run_kernel_study(
+            dataset="G1", center=7, depth=2, length=2, repeats=1, k=10,
+            kernels=("csr",),
+        )
+        assert [run.label for run in study.runs] == ["reference", "csr"]
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_kernel_study(repeats=0)
+
+
+class TestKernelBenchScript:
+    def test_bench_json_contract(self):
+        bench = load_bench_module("bench_kernels")
+        document = bench.run_benchmark(repeats=1)
+        labels = [run["label"] for run in document["runs"]]
+        assert "bfs_extract" in labels
+        assert "diffusion:legacy" in labels
+        for kernel in bench.KERNEL_LABELS:
+            assert f"diffusion:{kernel}" in labels
+        assert "meloppr:auto" in labels
+        for run in document["runs"]:
+            assert run["throughput_qps"] > 0.0

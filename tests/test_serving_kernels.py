@@ -1,0 +1,123 @@
+"""Kernel selection threaded through the serving stack.
+
+The diffusion kernel is a pure speed knob: every engine/backend/kernel
+combination must return bit-identical answers.  These tests pin the
+plumbing — engine construction, the process backend's wire protocol, and
+the server CLI flag — rather than the kernels themselves (those live in
+``test_diffusion_kernels.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.meloppr.config import MeLoPPRConfig
+from repro.meloppr.solver import MeLoPPRSolver
+from repro.ppr.base import PPRQuery
+from repro.serving import QueryEngine, SerialBackend, ThreadPoolBackend
+from repro.serving.backends import ProcessPoolBackend, make_backend
+
+
+@pytest.fixture()
+def queries():
+    seeds = [3, 11, 3, 27, 11]
+    return [PPRQuery(seed=seed, k=40, alpha=0.85, length=6) for seed in seeds]
+
+
+@pytest.fixture()
+def solver(small_ba_graph):
+    return MeLoPPRSolver(small_ba_graph, MeLoPPRConfig.paper_default())
+
+
+class TestEngineKernelSelection:
+    def test_kernel_property_is_resolved(self, solver):
+        engine = QueryEngine(solver, kernel="csr")
+        assert engine.kernel == "csr"
+        # ``auto`` resolves to a concrete registered kernel at construction.
+        assert QueryEngine(solver).kernel != "auto"
+
+    def test_unknown_kernel_fails_at_construction(self, solver):
+        with pytest.raises(ValueError, match="unknown diffusion kernel"):
+            QueryEngine(solver, kernel="bogus")
+
+    @pytest.mark.parametrize(
+        "backend_factory",
+        [SerialBackend, lambda: ThreadPoolBackend(2)],
+        ids=["serial", "threaded"],
+    )
+    @pytest.mark.parametrize("kernel", ["reference", "csr", "frontier"])
+    def test_answers_identical_across_kernels(
+        self, solver, queries, backend_factory, kernel
+    ):
+        expected = [solver.solve(query) for query in queries]
+        with QueryEngine(solver, backend=backend_factory(), kernel=kernel) as engine:
+            results = engine.solve_batch(queries)
+        for got, want in zip(results, expected):
+            assert got.top_k_nodes() == want.top_k_nodes()
+            for node, score in want.scores.items():
+                assert got.scores.get(node) == score
+
+    @pytest.mark.parametrize("kernel", ["reference", "frontier"])
+    def test_process_backend_answers_identical(self, small_ba_graph, queries, kernel):
+        solver = MeLoPPRSolver(small_ba_graph, MeLoPPRConfig.paper_default())
+        expected = [solver.solve(query) for query in queries]
+        with QueryEngine(
+            solver, backend=make_backend("process:2"), kernel=kernel
+        ) as engine:
+            results = engine.solve_batch(queries)
+        for got, want in zip(results, expected):
+            assert got.top_k_nodes() == want.top_k_nodes()
+            for node, score in want.scores.items():
+                assert got.scores.get(node) == score
+
+
+class TestProcessBackendKernelPlumbing:
+    def test_bad_kernel_fails_at_construction(self):
+        with pytest.raises(ValueError, match="unknown diffusion kernel"):
+            ProcessPoolBackend(num_workers=1, kernel="bogus")
+
+    def test_run_stage_tasks_kernel_override(self, small_ba_graph):
+        from repro.meloppr.planner import StageTask, execute_stage_task
+
+        task = StageTask(stage_index=0, center=3, length=2, weight=1.0, alpha=0.85)
+        expected = execute_stage_task(small_ba_graph, task, kernel="reference")
+        backend = ProcessPoolBackend(num_workers=1, kernel="reference")
+        try:
+            backend.bind_graph(small_ba_graph)
+            outcomes = backend.run_stage_tasks([task], kernel="frontier")
+        finally:
+            backend.close()
+        assert len(outcomes) == 1
+        assert np.array_equal(
+            outcomes[0].diffusion.accumulated, expected.diffusion.accumulated
+        )
+        assert outcomes[0].diffusion.propagations == expected.diffusion.propagations
+
+
+class TestServerKernelFlag:
+    def test_parser_accepts_kernel(self):
+        from repro.serving.frontend.server import build_parser
+
+        args = build_parser().parse_args(["--kernel", "frontier"])
+        assert args.kernel == "frontier"
+        assert build_parser().parse_args([]).kernel is None
+
+    def test_build_frontend_wires_kernel_into_engine(self):
+        from repro.serving.frontend.server import build_frontend, build_parser
+
+        args = build_parser().parse_args(
+            ["--dataset", "G1", "--backend", "serial", "--kernel", "csr"]
+        )
+        engine, _, _ = build_frontend(args)
+        try:
+            assert engine.kernel == "csr"
+        finally:
+            engine.close()
+
+    def test_build_frontend_rejects_unknown_kernel(self):
+        from repro.serving.frontend.server import build_frontend, build_parser
+
+        args = build_parser().parse_args(["--backend", "serial", "--kernel", "nope"])
+        with pytest.raises(ValueError, match="unknown diffusion kernel"):
+            build_frontend(args)
