@@ -26,6 +26,7 @@ from repro.experiments.result_cache_study import format_result_cache, run_result
 from repro.experiments.score_table_study import format_score_table, run_score_table_study
 from repro.experiments.serving_study import format_serving, run_serving_study
 from repro.experiments.sharding_study import format_sharding, run_sharding_study
+from repro.experiments.soak_study import format_soak, run_soak_study
 from repro.experiments.table1_resources import format_table1, run_table1
 from repro.experiments.table2_memory import format_table2, run_table2
 
@@ -136,6 +137,15 @@ def run_all(profile: ExperimentProfile = QUICK_PROFILE) -> Dict[str, str]:
     )
     reports["E14_kernels"] = format_kernels(
         run_kernel_study(repeats=3 if profile.name == "quick" else 10)
+    )
+    reports["E15_soak"] = format_soak(
+        run_soak_study(
+            num_seeds=profile.num_seeds_small,
+            num_arrivals=12 * profile.num_seeds_small,
+            multipliers=(0.5, 1.0, 10.0)
+            if profile.name == "quick"
+            else (0.5, 1.0, 2.0, 10.0),
+        )
     )
     return reports
 

@@ -534,6 +534,16 @@ class ProcessPoolBackend(ExecutionBackend):
         return self._cache_bytes
 
     @property
+    def mp_context(self) -> Optional[str]:
+        """Configured start-method name (``None`` = platform default)."""
+        return self._mp_context_name
+
+    @property
+    def kernel(self) -> str:
+        """Resolved default diffusion-kernel name for stage tasks."""
+        return self._kernel
+
+    @property
     def is_running(self) -> bool:
         """Whether worker processes are currently alive."""
         return bool(self._workers)

@@ -272,6 +272,27 @@ class SubgraphCache:
                     f"{self._max_bytes}"
                 )
 
+    def resize(self, max_bytes: int) -> int:
+        """Change the byte budget in place, evicting LRU entries past it.
+
+        The hot-reload path of a live server: shrinking evicts (counted in
+        ``stats.evictions``) until the retained bytes fit, growing just
+        raises the ceiling — either way no lookup is ever interrupted and
+        surviving entries stay warm.  Returns the number of evictions the
+        resize forced.
+        """
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be > 0, got {max_bytes}")
+        with self._lock:
+            self._max_bytes = int(max_bytes)
+            evicted = 0
+            while self._entries and self._current_bytes > self._max_bytes:
+                _, (_, _, dropped) = self._entries.popitem(last=False)
+                self._current_bytes -= dropped
+                self._evictions += 1
+                evicted += 1
+            return evicted
+
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction/rejection counters (entries are kept).
 

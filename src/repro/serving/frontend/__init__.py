@@ -15,6 +15,17 @@ into the well-formed batches that engine is optimised for:
   shedding (:class:`QueryShedError`) and p50/p95/p99 latency telemetry.
 * :class:`AsyncQueryServer` / :class:`AsyncClient` — a minimal TCP service
   speaking newline-delimited JSON, with protocol-level shed/deadline answers.
+* :class:`HttpQueryServer` / :class:`HttpClient` / :class:`HttpClientPool` —
+  the production front door: the same batcher served over HTTP/1.1 + JSON,
+  with a Prometheus ``/metrics`` endpoint
+  (:func:`render_prometheus` / :func:`parse_prometheus_text`).
+* :func:`apply_reload` — hot config reload (admission bound, batch policy,
+  cache budgets) shared by both transports; both servers also implement
+  graceful drain (``drain()``: stop accepting, finish every in-flight
+  query).
+* :class:`WorkloadRecorder` / :func:`replay_trace` — capture accepted
+  queries with arrival offsets as JSONL traces and replay them as
+  repeatable benchmarks.
 """
 
 from repro.serving.frontend.admission import (
@@ -27,6 +38,21 @@ from repro.serving.frontend.admission import (
 from repro.serving.frontend.async_backend import AsyncBackend
 from repro.serving.frontend.batcher import BatcherStats, BatchPolicy, MicroBatcher
 from repro.serving.frontend.client import AsyncClient, ServerError
+from repro.serving.frontend.http import HttpClient, HttpClientPool, HttpQueryServer
+from repro.serving.frontend.metrics import (
+    PrometheusScrape,
+    parse_prometheus_text,
+    render_prometheus,
+)
+from repro.serving.frontend.ops import RELOADABLE_KEYS, apply_reload, frontend_config
+from repro.serving.frontend.recorder import (
+    TraceRecord,
+    WorkloadRecorder,
+    load_trace,
+    replay_trace,
+    replay_trace_sync,
+    save_trace,
+)
 from repro.serving.frontend.server import AsyncQueryServer
 
 __all__ = [
@@ -38,8 +64,23 @@ __all__ = [
     "BatchPolicy",
     "BatcherStats",
     "DeadlineExceededError",
+    "HttpClient",
+    "HttpClientPool",
+    "HttpQueryServer",
     "MicroBatcher",
+    "PrometheusScrape",
     "QueryRejectedError",
     "QueryShedError",
+    "RELOADABLE_KEYS",
     "ServerError",
+    "TraceRecord",
+    "WorkloadRecorder",
+    "apply_reload",
+    "frontend_config",
+    "load_trace",
+    "parse_prometheus_text",
+    "render_prometheus",
+    "replay_trace",
+    "replay_trace_sync",
+    "save_trace",
 ]

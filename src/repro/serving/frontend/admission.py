@@ -156,6 +156,18 @@ class AdmissionController:
         with self._lock:
             return self._pending
 
+    def set_max_pending(self, max_pending: int) -> None:
+        """Change the in-flight bound in place (the hot-reload path).
+
+        Already-admitted queries are never revoked: shrinking below the
+        current ``pending`` just sheds new arrivals until completions bring
+        the count back under the new bound.
+        """
+        if max_pending <= 0:
+            raise ValueError(f"max_pending must be > 0, got {max_pending}")
+        with self._lock:
+            self._max_pending = int(max_pending)
+
     # ------------------------------------------------------------------
     def try_admit(self) -> bool:
         """Admit one query if capacity allows; count a shed otherwise."""

@@ -220,6 +220,18 @@ class MicroBatcher:
         """The active batching policy."""
         return self._policy
 
+    def set_policy(self, policy: BatchPolicy) -> None:
+        """Swap the batching policy in place (the hot-reload path).
+
+        The batch currently being collected finishes under the policy it
+        started with; every later batch uses the new one.  No queued or
+        in-flight query is dropped — this only changes how future
+        submissions coalesce.
+        """
+        if not isinstance(policy, BatchPolicy):
+            raise TypeError(f"policy must be a BatchPolicy, got {policy!r}")
+        self._policy = policy
+
     @property
     def admission(self) -> AdmissionController:
         """The admission controller consulted on every submission."""
@@ -299,7 +311,6 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------
     async def _run_scheduler(self) -> None:
-        policy = self._policy
         assert self._loop is not None and self._arrival is not None
         loop, arrival, items = self._loop, self._arrival, self._items
         while True:
@@ -310,6 +321,9 @@ class MicroBatcher:
             first = items.popleft()
             if first is _STOP:
                 break
+            # Re-read per batch so set_policy() (hot reload) takes effect on
+            # the next batch without restarting the scheduler.
+            policy = self._policy
             batch: List[_Waiter] = [first]
             stop_after = False
             # Collect until the batch is full or max_wait_ms has passed since

@@ -1,0 +1,819 @@
+"""An HTTP/1.1 + JSON front door over the same micro-batcher as TCP.
+
+The JSON-lines TCP protocol (:mod:`repro.serving.frontend.server`) is the
+low-overhead path for purpose-built clients; this module is the *operable*
+one — anything that speaks HTTP (curl, load balancers, Prometheus) can talk
+to it, and both transports can serve the **same**
+:class:`~repro.serving.frontend.batcher.MicroBatcher` simultaneously, so
+queries arriving over HTTP coalesce into the same batches as TCP traffic.
+
+Endpoints::
+
+    POST /query         {"seed": 42, "k": 100, "alpha": 0.85, "length": 6,
+                         "timeout_ms": 250}
+                        -> 200 {"ok": true, "top": [[node, score], ...],
+                                "latency_ms": 3.1}
+                        -> 400 bad request, 429 shed (overload),
+                           504 deadline exceeded, 500 engine failure —
+                           every rejection is a JSON body with
+                           {"ok": false, "error": <code>, "message": ...}
+    GET  /healthz       200 while serving, 503 while draining (load
+                        balancers stop routing before the listener closes)
+    GET  /stats         the full nested stats snapshot as JSON
+    GET  /metrics       Prometheus text exposition (0.0.4) of the same
+                        counters (repro.serving.frontend.metrics)
+    POST /admin/drain   begin a graceful drain; 202, in-flight queries
+                        complete, the process's serve loop exits
+    POST /admin/reload  hot-apply config overrides (max_pending, batch
+                        policy, cache budgets) without dropping queries;
+                        body = the override object, response echoes the
+                        effective config (repro.serving.frontend.ops)
+
+The implementation is deliberately stdlib-asyncio-only (no aiohttp):
+HTTP/1.1 with ``Content-Length`` bodies and keep-alive, one request at a
+time per connection.  Concurrency comes from many connections — use
+:class:`HttpClientPool` — which is also how real HTTP load arrives.
+
+Run it from the command line::
+
+    PYTHONPATH=src python -m repro.serving.frontend.http \
+        --dataset G1 --port 7080 --backend thread:4 --max-batch 8
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.serving.frontend.admission import QueryRejectedError
+from repro.serving.frontend.batcher import MicroBatcher
+from repro.serving.frontend.metrics import render_prometheus
+from repro.serving.frontend.ops import apply_reload
+from repro.serving.frontend.server import parse_query_request
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.serving.frontend.recorder import WorkloadRecorder
+
+__all__ = ["HttpQueryServer", "HttpClient", "HttpClientPool", "main"]
+
+#: Largest request body the server will read (1 MiB is generous: a query
+#: is ~100 bytes, a reload config ~200).
+DEFAULT_MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Protocol error codes -> HTTP status.  The JSON bodies carry the same
+#: ``error`` codes as the TCP protocol, so clients can switch transports
+#: without relearning the failure taxonomy.
+_ERROR_STATUS = {
+    "bad_request": 400,
+    "shed": 429,
+    "deadline": 504,
+    "internal": 500,
+}
+
+
+class _BadRequestLine(Exception):
+    """The request line or headers were not parseable HTTP."""
+
+
+class HttpQueryServer:
+    """Serve a :class:`MicroBatcher` over HTTP/1.1 with JSON bodies.
+
+    Parameters
+    ----------
+    batcher:
+        The started (or about-to-be-started) micro-batcher answering
+        queries — share one instance with an
+        :class:`~repro.serving.frontend.server.AsyncQueryServer` to serve
+        both transports from the same batches.
+    host, port:
+        Bind address; port 0 picks a free port (read it from
+        :meth:`start`'s return value).
+    max_body_bytes:
+        Bound on request bodies; larger ones are refused with 413 before
+        being read.
+    recorder:
+        Optional workload recorder; every accepted ``/query`` is captured
+        with its arrival offset.
+    info:
+        Static labels for the ``repro_server_info`` metric (backend,
+        kernel, dataset...).  Defaults to the live backend name and batch
+        policy.
+    """
+
+    def __init__(
+        self,
+        batcher: MicroBatcher,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        recorder: Optional["WorkloadRecorder"] = None,
+        info: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        if max_body_bytes <= 0:
+            raise ValueError(
+                f"max_body_bytes must be > 0, got {max_body_bytes}"
+            )
+        self._batcher = batcher
+        self._host = host
+        self._port = port
+        self._max_body_bytes = max_body_bytes
+        self._recorder = recorder
+        self._info = dict(info) if info is not None else None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._drain_event: Optional[asyncio.Event] = None
+        self._conn_tasks: Set["asyncio.Task[None]"] = set()
+
+    @property
+    def batcher(self) -> MicroBatcher:
+        """The micro-batcher answering this server's queries."""
+        return self._batcher
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`drain` has begun (no new work is accepted)."""
+        return self._drain_event is not None and self._drain_event.is_set()
+
+    @property
+    def recorder(self) -> Optional["WorkloadRecorder"]:
+        """The workload recorder capturing query requests (``None`` = off)."""
+        return self._recorder
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting connections; returns the bound address."""
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        self._drain_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        """Stop accepting connections and close the listener (idempotent)."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def drain(self) -> None:
+        """Gracefully wind the server down: stop accepting, finish in-flight.
+
+        Same contract as the TCP server's drain — **no admitted query is
+        ever dropped**: the listener closes, every connection finishes the
+        request it is handling (and flushes the response), idle keep-alive
+        connections close, and :meth:`drain` returns.  The batcher is *not*
+        stopped (the caller owns it and may be draining several transports).
+        """
+        if self._drain_event is None:
+            return  # never started: nothing in flight by construction
+        self._drain_event.set()
+        await self.stop()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+
+    async def serve_forever(self) -> None:
+        """Block serving until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    async def __aenter__(self) -> "HttpQueryServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, traceback) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn_task = asyncio.current_task()
+        if conn_task is not None:
+            self._conn_tasks.add(conn_task)
+        assert self._drain_event is not None
+        drain_wait = asyncio.ensure_future(self._drain_event.wait())
+        try:
+            # Requests on one connection are handled sequentially (HTTP/1.1
+            # without pipelining — what every real client sends).  The drain
+            # check sits *between* requests: a request already received
+            # always gets its response before the connection closes.
+            while not drain_wait.done():
+                read = asyncio.ensure_future(reader.readline())
+                await asyncio.wait(
+                    {read, drain_wait}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if not read.done():
+                    # Drain began while idle on a keep-alive connection:
+                    # abandon the read and close.
+                    read.cancel()
+                    try:
+                        await read
+                    except (asyncio.CancelledError, ValueError, OSError):
+                        pass
+                    break
+                try:
+                    request_line = read.result()
+                except ValueError:
+                    # Request line overran the stream buffer: not HTTP we
+                    # are willing to parse.
+                    await self._respond_error(
+                        writer, 400, "request line too long", close=True
+                    )
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if not request_line.strip():
+                    if not request_line:
+                        break  # EOF: client closed the connection
+                    continue  # stray blank line between requests: tolerate
+                keep_alive = await self._handle_request(
+                    reader, writer, request_line
+                )
+                if not keep_alive:
+                    break
+        finally:
+            if not drain_wait.done():
+                drain_wait.cancel()
+                try:
+                    await drain_wait
+                except asyncio.CancelledError:
+                    pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            if conn_task is not None:
+                self._conn_tasks.discard(conn_task)
+
+    async def _handle_request(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        request_line: bytes,
+    ) -> bool:
+        """Parse and answer one request; returns whether to keep the
+        connection open."""
+        # The latency clock starts at request receipt: header/body/JSON
+        # parse time is part of what the client observes, so it is part of
+        # what the server reports.
+        received = asyncio.get_running_loop().time()
+        try:
+            method, target, version = self._parse_request_line(request_line)
+            headers = await self._read_headers(reader)
+        except _BadRequestLine as exc:
+            await self._respond_error(writer, 400, str(exc), close=True)
+            return False
+        except (ConnectionError, OSError):
+            return False
+
+        keep_alive = version == "HTTP/1.1"
+        connection = headers.get("connection", "").lower()
+        if connection == "close":
+            keep_alive = False
+        elif connection == "keep-alive":
+            keep_alive = True
+
+        if "transfer-encoding" in headers:
+            await self._respond_error(
+                writer,
+                501,
+                "chunked bodies are not supported; send Content-Length",
+                close=True,
+            )
+            return False
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            await self._respond_error(
+                writer, 400, "malformed Content-Length", close=True
+            )
+            return False
+        if length < 0:
+            await self._respond_error(
+                writer, 400, "malformed Content-Length", close=True
+            )
+            return False
+        if length > self._max_body_bytes:
+            # Refuse before reading: the connection closes because the
+            # unread body would desynchronise the stream.
+            await self._respond_error(
+                writer,
+                413,
+                f"body of {length} bytes exceeds the "
+                f"{self._max_body_bytes}-byte limit",
+                close=True,
+            )
+            return False
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return False  # client disconnected mid-body
+
+        status, payload, content_type = await self._route(
+            method, target, body, received
+        )
+        sent = await self._respond(
+            writer,
+            status,
+            payload,
+            content_type=content_type,
+            close=not keep_alive,
+        )
+        return keep_alive and sent
+
+    def _parse_request_line(
+        self, request_line: bytes
+    ) -> Tuple[str, str, str]:
+        try:
+            decoded = request_line.decode("ascii").strip()
+        except UnicodeDecodeError as exc:
+            raise _BadRequestLine("request line is not ASCII") from exc
+        parts = decoded.split()
+        if len(parts) != 3:
+            raise _BadRequestLine(f"malformed request line: {decoded!r}")
+        method, target, version = parts
+        if version not in ("HTTP/1.1", "HTTP/1.0"):
+            raise _BadRequestLine(f"unsupported HTTP version {version!r}")
+        return method.upper(), target, version
+
+    async def _read_headers(
+        self, reader: asyncio.StreamReader, max_headers: int = 100
+    ) -> Dict[str, str]:
+        headers: Dict[str, str] = {}
+        for _ in range(max_headers):
+            try:
+                line = await reader.readline()
+            except ValueError as exc:
+                raise _BadRequestLine("header line too long") from exc
+            if line in (b"\r\n", b"\n", b""):
+                return headers
+            try:
+                name, _, value = line.decode("latin-1").partition(":")
+            except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+                raise _BadRequestLine("undecodable header line") from exc
+            if not _:
+                raise _BadRequestLine(f"malformed header line: {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        raise _BadRequestLine(f"more than {max_headers} header lines")
+
+    # ------------------------------------------------------------------
+    async def _route(
+        self, method: str, target: str, body: bytes, received: float
+    ) -> Tuple[int, object, str]:
+        """Dispatch to a handler; returns ``(status, payload, content_type)``.
+
+        ``payload`` is a dict (JSON-encoded on the way out) except for
+        ``/metrics``, which returns the exposition text directly.
+        """
+        path = target.split("?", 1)[0]
+        json_type = "application/json"
+        routes = {
+            "/query": "POST",
+            "/healthz": "GET",
+            "/stats": "GET",
+            "/metrics": "GET",
+            "/admin/drain": "POST",
+            "/admin/reload": "POST",
+        }
+        if path not in routes:
+            return (
+                404,
+                {"ok": False, "error": "not_found", "message": f"no route {path!r}"},
+                json_type,
+            )
+        if method != routes[path] and not (
+            method == "HEAD" and routes[path] == "GET"
+        ):
+            return (
+                405,
+                {
+                    "ok": False,
+                    "error": "method_not_allowed",
+                    "message": f"{path} expects {routes[path]}, got {method}",
+                },
+                json_type,
+            )
+
+        if path == "/healthz":
+            if self.draining:
+                return 503, {"ok": False, "status": "draining"}, json_type
+            return 200, {"ok": True, "status": "serving"}, json_type
+        if path == "/stats":
+            return 200, self._batcher.stats().as_dict(), json_type
+        if path == "/metrics":
+            text = render_prometheus(
+                self._batcher.stats(),
+                draining=self.draining,
+                info=self._metrics_info(),
+            )
+            return 200, text, "text/plain; version=0.0.4; charset=utf-8"
+        if path == "/admin/drain":
+            # Acknowledge first, drain as a background task: drain() waits
+            # for every connection handler — including the one carrying
+            # this request — so awaiting it here would deadlock.
+            asyncio.ensure_future(self.drain())
+            return 202, {"ok": True, "draining": True}, json_type
+        if path == "/admin/reload":
+            try:
+                overrides = self._parse_json_body(body)
+                outcome = apply_reload(self._batcher, overrides)
+            except ValueError as exc:
+                return (
+                    400,
+                    {"ok": False, "error": "bad_request", "message": str(exc)},
+                    json_type,
+                )
+            return 200, {"ok": True, **outcome}, json_type
+        # path == "/query"
+        response = await self._answer_query(body, received)
+        status = 200 if response.get("ok") else _ERROR_STATUS.get(
+            str(response.get("error")), 500
+        )
+        return status, response, json_type
+
+    def _metrics_info(self) -> Dict[str, str]:
+        if self._info is not None:
+            return self._info
+        return {
+            "backend": self._batcher.engine.backend.name,
+            "policy": self._batcher.policy.label,
+        }
+
+    def _parse_json_body(self, body: bytes) -> dict:
+        if not body:
+            raise ValueError("request body must be a JSON object, got nothing")
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"request body must be a JSON object, "
+                f"got {type(payload).__name__}"
+            )
+        return payload
+
+    async def _answer_query(self, body: bytes, received: float) -> dict:
+        """The ``POST /query`` handler: same semantics as the TCP query op."""
+        loop = asyncio.get_running_loop()
+        request_id = None
+        try:
+            request = self._parse_json_body(body)
+            request_id = request.get("id")
+            query, timeout_ms = parse_query_request(
+                request, self._batcher.engine.solver.graph.num_nodes
+            )
+        except (ValueError, TypeError, KeyError) as exc:
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": "bad_request",
+                "message": str(exc),
+            }
+
+        if self._recorder is not None:
+            self._recorder.record_query(query, timeout_ms=timeout_ms)
+        try:
+            result = await self._batcher.submit(query, timeout_ms=timeout_ms)
+        except QueryRejectedError as exc:
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": exc.code,
+                "message": str(exc),
+            }
+        except Exception as exc:  # engine failure: report, keep serving
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": "internal",
+                "message": f"{type(exc).__name__}: {exc}",
+            }
+        return {
+            "id": request_id,
+            "ok": True,
+            "seed": query.seed,
+            "k": query.k,
+            "top": [[int(node), float(score)] for node, score in result.top_k()],
+            "latency_ms": (loop.time() - received) * 1e3,
+        }
+
+    # ------------------------------------------------------------------
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: object,
+        content_type: str = "application/json",
+        close: bool = False,
+    ) -> bool:
+        """Serialise and send one response; returns False if the client
+        went away (nothing to deliver the answer to)."""
+        if isinstance(payload, (dict, list)):
+            body = json.dumps(payload).encode("utf-8")
+        elif isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:  # pragma: no cover - handlers only return dict/str
+            body = bytes(payload)
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            "\r\n"
+        ).encode("ascii")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return False
+        return True
+
+    async def _respond_error(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        message: str,
+        close: bool = False,
+    ) -> bool:
+        return await self._respond(
+            writer,
+            status,
+            {"ok": False, "error": "bad_request" if status == 400 else "error",
+             "message": message},
+            close=close,
+        )
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+
+
+class HttpClient:
+    """A minimal asyncio HTTP/1.1 client for one keep-alive connection.
+
+    Just enough HTTP for tests, benchmarks and the soak study: JSON bodies,
+    ``Content-Length`` framing, sequential requests.  Not a general client.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self._host = host
+        self._port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "HttpClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def __aenter__(self) -> "HttpClient":
+        return await self.connect()
+
+    async def __aexit__(self, exc_type, exc, traceback) -> None:
+        await self.close()
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[object] = None,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One request/response cycle; returns ``(status, headers, body)``.
+
+        ``body`` may be a dict (sent as JSON), ``bytes`` (sent raw) or
+        ``None``.
+        """
+        if self._reader is None or self._writer is None:
+            await self.connect()
+        assert self._reader is not None and self._writer is not None
+        if isinstance(body, (dict, list)):
+            raw = json.dumps(body).encode("utf-8")
+        elif body is None:
+            raw = b""
+        else:
+            raw = bytes(body)
+        head_lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self._host}:{self._port}",
+            f"Content-Length: {len(raw)}",
+        ]
+        for name, value in (headers or {}).items():
+            head_lines.append(f"{name}: {value}")
+        request = ("\r\n".join(head_lines) + "\r\n\r\n").encode("ascii") + raw
+        self._writer.write(request)
+        await self._writer.drain()
+        return await self._read_response()
+
+    async def request_json(
+        self, method: str, path: str, body: Optional[object] = None
+    ) -> Tuple[int, dict]:
+        """:meth:`request`, with the response body parsed as JSON."""
+        status, _, raw = await self.request(method, path, body)
+        return status, json.loads(raw)
+
+    async def query(self, request: dict) -> Tuple[int, dict]:
+        """``POST /query`` with ``request`` as the JSON body."""
+        return await self.request_json("POST", "/query", request)
+
+    async def _read_response(self) -> Tuple[int, Dict[str, str], bytes]:
+        assert self._reader is not None
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.decode("ascii").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ValueError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, headers, body
+
+
+class HttpClientPool:
+    """A fixed-size pool of keep-alive :class:`HttpClient` connections.
+
+    The server handles one request at a time per connection, so driving it
+    hard needs many connections — exactly like production HTTP traffic.
+    The pool checks a connection out per request and replaces broken ones
+    transparently.
+    """
+
+    def __init__(self, host: str, port: int, size: int = 8) -> None:
+        if size <= 0:
+            raise ValueError(f"size must be > 0, got {size}")
+        self._host = host
+        self._port = port
+        self._size = size
+        self._free: "asyncio.Queue[HttpClient]" = asyncio.Queue()
+        self._clients: List[HttpClient] = []
+
+    async def connect(self) -> "HttpClientPool":
+        for _ in range(self._size):
+            client = await HttpClient(self._host, self._port).connect()
+            self._clients.append(client)
+            self._free.put_nowait(client)
+        return self
+
+    async def close(self) -> None:
+        for client in self._clients:
+            await client.close()
+        self._clients.clear()
+        while not self._free.empty():
+            self._free.get_nowait()
+
+    async def __aenter__(self) -> "HttpClientPool":
+        return await self.connect()
+
+    async def __aexit__(self, exc_type, exc, traceback) -> None:
+        await self.close()
+
+    async def request_json(
+        self, method: str, path: str, body: Optional[object] = None
+    ) -> Tuple[int, dict]:
+        """One JSON request on the next free connection (reconnecting a
+        broken one once)."""
+        client = await self._free.get()
+        try:
+            try:
+                return await client.request_json(method, path, body)
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                # The connection died (e.g. an earlier Connection: close);
+                # replace it and retry once.
+                await client.close()
+                await client.connect()
+                return await client.request_json(method, path, body)
+        finally:
+            self._free.put_nowait(client)
+
+    async def query(self, request: dict) -> Tuple[int, dict]:
+        """``POST /query`` on the next free connection."""
+        return await self.request_json("POST", "/query", request)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - blocks serving
+    """Command-line entry point: serve a dataset over HTTP until drained."""
+    from repro.serving.frontend.recorder import WorkloadRecorder
+    from repro.serving.frontend.server import (
+        build_frontend,
+        build_parser,
+        install_drain_signal_handler,
+    )
+
+    parser = build_parser()
+    parser.set_defaults(port=7080)  # keep clear of the TCP default (7071)
+    args = parser.parse_args(argv)
+    engine, policy, admission = build_frontend(args)
+    recorder = WorkloadRecorder() if args.record else None
+
+    async def serve() -> None:
+        async with MicroBatcher(engine, policy, admission) as batcher:
+            server = HttpQueryServer(
+                batcher,
+                args.host,
+                args.port,
+                recorder=recorder,
+                info={
+                    "backend": engine.backend.name,
+                    "dataset": engine.solver.graph.name,
+                    "policy": policy.label,
+                },
+            )
+            host, port = await server.start()
+            install_drain_signal_handler(server)
+            print(
+                f"serving {engine.solver.graph.name} on http://{host}:{port} "
+                f"(backend {engine.backend.name}, policy {policy.label}, "
+                f"max_pending {admission.max_pending})"
+            )
+            try:
+                # Ends via CancelledError when a drain (SIGTERM or
+                # POST /admin/drain) closes the listener.
+                await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                # Idempotent: completes any in-flight queries on every
+                # exit path before the batcher shuts down.
+                await server.drain()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    finally:
+        engine.close()
+        if recorder is not None and args.record:
+            count = recorder.save(args.record)
+            print(f"recorded {count} queries to {args.record}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI only
+    raise SystemExit(main())

@@ -1,0 +1,210 @@
+"""Live operations shared by the TCP and HTTP front doors.
+
+A production server cannot restart to change a cache budget, and it cannot
+drop in-flight queries to shut down.  This module implements the first half
+of that contract — **hot config reload** — as one transport-agnostic
+function: :func:`apply_reload` validates a dict of overrides (the JSON body
+of ``POST /admin/reload``, or the ``config`` field of the TCP ``reload``
+op), then applies them to the running frontend:
+
+* ``max_pending`` — the admission bound
+  (:meth:`~repro.serving.frontend.admission.AdmissionController.set_max_pending`);
+* ``max_batch_size`` / ``max_wait_ms`` / ``dedup`` — the batching policy
+  (:meth:`~repro.serving.frontend.batcher.MicroBatcher.set_policy`; the
+  batch being collected finishes under the old policy);
+* ``cache_bytes`` / ``result_cache_bytes`` — the engine-level cache budgets
+  (``resize``: shrinking evicts LRU entries, growing keeps everything warm).
+
+Validation is all-or-nothing: every override is checked before anything is
+applied, so a reload with one bad field changes nothing.  No query is ever
+dropped by a reload — budgets evict cache entries, never answers.
+
+Graceful drain, the other half, lives on the servers themselves
+(:meth:`~repro.serving.frontend.server.AsyncQueryServer.drain`,
+:meth:`~repro.serving.frontend.http.HttpQueryServer.drain`) because it is
+about connection lifecycles, which only the transport knows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.serving.frontend.batcher import MicroBatcher
+
+__all__ = ["RELOADABLE_KEYS", "apply_reload", "frontend_config"]
+
+#: The override keys :func:`apply_reload` understands.
+RELOADABLE_KEYS = (
+    "max_pending",
+    "max_batch_size",
+    "max_wait_ms",
+    "dedup",
+    "cache_bytes",
+    "result_cache_bytes",
+)
+
+
+def _strict_int(value: object, name: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{name} must be a JSON integer, got {value!r}")
+    return value
+
+
+def _strict_number(value: object, name: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"{name} must be a JSON number, got {value!r}")
+    return float(value)
+
+
+def _strict_bool(value: object, name: str) -> bool:
+    if not isinstance(value, bool):
+        raise ValueError(f"{name} must be a JSON boolean, got {value!r}")
+    return value
+
+
+def frontend_config(batcher: MicroBatcher) -> Dict[str, object]:
+    """The currently effective reloadable configuration, as one dict.
+
+    The shape mirrors what :func:`apply_reload` accepts, so an operator can
+    ``GET`` it (it is embedded in reload responses), tweak a field and
+    ``POST`` it back.
+    """
+    engine = batcher.engine
+    return {
+        "max_pending": batcher.admission.max_pending,
+        "max_batch_size": batcher.policy.max_batch_size,
+        "max_wait_ms": batcher.policy.max_wait_ms,
+        "dedup": batcher.policy.dedup,
+        "cache_bytes": None if engine.cache is None else engine.cache.max_bytes,
+        "result_cache_bytes": (
+            None if engine.result_cache is None else engine.result_cache.max_bytes
+        ),
+    }
+
+
+def apply_reload(
+    batcher: MicroBatcher, overrides: Dict[str, object]
+) -> Dict[str, object]:
+    """Validate and apply a hot-reload override dict; returns the outcome.
+
+    Parameters
+    ----------
+    batcher:
+        The running frontend (its admission controller, policy and engine
+        caches are the reload targets).
+    overrides:
+        A dict of :data:`RELOADABLE_KEYS`.  Unknown keys, wrongly typed
+        values and out-of-range values all raise ``ValueError`` **before**
+        anything is applied.
+
+    Returns
+    -------
+    dict
+        ``{"applied": [keys...], "evicted": {cache: n, ...},
+        "config": {effective config after the reload}}``.
+
+    Raises
+    ------
+    ValueError
+        On any invalid override — including resizing a cache the engine
+        does not have (``cache_bytes`` with caching off is a config error
+        the operator should hear about, not a silent no-op).
+    """
+    if not isinstance(overrides, dict):
+        raise ValueError(
+            f"reload config must be a JSON object, got {type(overrides).__name__}"
+        )
+    unknown = sorted(set(overrides) - set(RELOADABLE_KEYS))
+    if unknown:
+        raise ValueError(
+            f"unknown reload key(s) {unknown}; reloadable keys are "
+            f"{sorted(RELOADABLE_KEYS)}"
+        )
+
+    engine = batcher.engine
+
+    # ------------------------------------------------------------------
+    # Validate everything first: a reload either applies whole or not at all.
+    # ------------------------------------------------------------------
+    actions: List = []
+    applied: List[str] = []
+    evicted: Dict[str, int] = {}
+
+    if "max_pending" in overrides:
+        max_pending = _strict_int(overrides["max_pending"], "max_pending")
+        if max_pending <= 0:
+            raise ValueError(f"max_pending must be > 0, got {max_pending}")
+        actions.append(
+            lambda: batcher.admission.set_max_pending(max_pending)
+        )
+        applied.append("max_pending")
+
+    policy_fields: Dict[str, object] = {}
+    if "max_batch_size" in overrides:
+        size = _strict_int(overrides["max_batch_size"], "max_batch_size")
+        if size <= 0:
+            raise ValueError(f"max_batch_size must be > 0, got {size}")
+        policy_fields["max_batch_size"] = size
+        applied.append("max_batch_size")
+    if "max_wait_ms" in overrides:
+        wait = _strict_number(overrides["max_wait_ms"], "max_wait_ms")
+        if wait < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {wait}")
+        policy_fields["max_wait_ms"] = wait
+        applied.append("max_wait_ms")
+    if "dedup" in overrides:
+        policy_fields["dedup"] = _strict_bool(overrides["dedup"], "dedup")
+        applied.append("dedup")
+    if policy_fields:
+        new_policy = replace(batcher.policy, **policy_fields)
+        actions.append(lambda: batcher.set_policy(new_policy))
+
+    if "cache_bytes" in overrides:
+        cache_bytes = _strict_int(overrides["cache_bytes"], "cache_bytes")
+        if cache_bytes <= 0:
+            raise ValueError(f"cache_bytes must be > 0, got {cache_bytes}")
+        if engine.cache is None:
+            raise ValueError(
+                "cache_bytes: this engine has no sub-graph cache to resize "
+                "(started with --no-cache, or a stage-task backend owns the "
+                "caches worker-side)"
+            )
+        cache = engine.cache
+        actions.append(
+            lambda: evicted.__setitem__("cache", cache.resize(cache_bytes))
+        )
+        applied.append("cache_bytes")
+
+    if "result_cache_bytes" in overrides:
+        result_bytes = _strict_int(
+            overrides["result_cache_bytes"], "result_cache_bytes"
+        )
+        if result_bytes <= 0:
+            raise ValueError(
+                f"result_cache_bytes must be > 0, got {result_bytes}"
+            )
+        if engine.result_cache is None:
+            raise ValueError(
+                "result_cache_bytes: this engine has no stage-one result "
+                "cache to resize (disabled at startup)"
+            )
+        result_cache = engine.result_cache
+        actions.append(
+            lambda: evicted.__setitem__(
+                "result_cache", result_cache.resize(result_bytes)
+            )
+        )
+        applied.append("result_cache_bytes")
+
+    # ------------------------------------------------------------------
+    # Apply.  Every action is in-place and non-throwing after validation.
+    # ------------------------------------------------------------------
+    for action in actions:
+        action()
+
+    return {
+        "applied": applied,
+        "evicted": evicted,
+        "config": frontend_config(batcher),
+    }

@@ -31,7 +31,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
-from typing import List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
 
 from repro.ppr.base import PPRQuery
 from repro.serving.frontend.admission import (
@@ -39,9 +39,13 @@ from repro.serving.frontend.admission import (
     QueryRejectedError,
 )
 from repro.serving.frontend.batcher import BatchPolicy, MicroBatcher
+from repro.serving.frontend.ops import apply_reload
 from repro.utils.validation import check_node_id
 
-__all__ = ["AsyncQueryServer", "main"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.serving.frontend.recorder import WorkloadRecorder
+
+__all__ = ["AsyncQueryServer", "parse_query_request", "main"]
 
 
 def _require_int(value: object, name: str) -> int:
@@ -56,6 +60,39 @@ def _require_number(value: object, name: str) -> float:
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise ValueError(f"{name} must be a JSON number, got {value!r}")
     return value
+
+
+def parse_query_request(
+    request: dict, num_nodes: int
+) -> Tuple[PPRQuery, Optional[float]]:
+    """Validate a query-request dict; returns ``(query, timeout_ms)``.
+
+    Shared by the TCP and HTTP front doors so both transports enforce the
+    *same* protocol: integer fields are validated strictly — ``42.9`` is a
+    bad request, not a silent truncation to seed 42, and JSON booleans are
+    rejected (``check_node_id`` would refuse them anyway; ``_require_int``
+    keeps ``k``/``length`` to the same standard).  Bad fields raise
+    ``ValueError`` and must never poison a batch.
+    """
+    if not isinstance(request, dict):
+        raise ValueError("request must be a JSON object")
+    if "seed" not in request:
+        raise ValueError("query request must carry a 'seed'")
+    seed = check_node_id(
+        _require_int(request["seed"], "seed"), num_nodes, "seed"
+    )
+    query = PPRQuery(
+        seed=seed,
+        k=_require_int(request.get("k", 200), "k"),
+        alpha=float(_require_number(request.get("alpha", 0.85), "alpha")),
+        length=_require_int(request.get("length", 6), "length"),
+    )
+    timeout_ms = request.get("timeout_ms")
+    if timeout_ms is not None:
+        timeout_ms = float(_require_number(timeout_ms, "timeout_ms"))
+        if timeout_ms <= 0:
+            raise ValueError(f"timeout_ms must be > 0, got {timeout_ms}")
+    return query, timeout_ms
 
 
 class AsyncQueryServer:
@@ -83,6 +120,7 @@ class AsyncQueryServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_pipelined: int = 128,
+        recorder: Optional["WorkloadRecorder"] = None,
     ) -> None:
         if max_pipelined <= 0:
             raise ValueError(f"max_pipelined must be > 0, got {max_pipelined}")
@@ -90,12 +128,25 @@ class AsyncQueryServer:
         self._host = host
         self._port = port
         self._max_pipelined = max_pipelined
+        self._recorder = recorder
         self._server: Optional[asyncio.AbstractServer] = None
+        self._drain_event: Optional[asyncio.Event] = None
+        self._conn_tasks: Set["asyncio.Task[None]"] = set()
 
     @property
     def batcher(self) -> MicroBatcher:
         """The micro-batcher answering this server's queries."""
         return self._batcher
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`drain` has begun (no new work is accepted)."""
+        return self._drain_event is not None and self._drain_event.is_set()
+
+    @property
+    def recorder(self) -> Optional["WorkloadRecorder"]:
+        """The workload recorder capturing query requests (``None`` = off)."""
+        return self._recorder
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -111,6 +162,7 @@ class AsyncQueryServer:
         """Bind and start accepting connections; returns the bound address."""
         if self._server is not None:
             raise RuntimeError("server is already started")
+        self._drain_event = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle_connection, self._host, self._port
         )
@@ -123,6 +175,29 @@ class AsyncQueryServer:
         self._server.close()
         await self._server.wait_closed()
         self._server = None
+
+    async def drain(self) -> None:
+        """Gracefully wind the server down: stop accepting, finish in-flight.
+
+        The drain contract — the reason this is safe to wire to ``SIGTERM``
+        — is that **no admitted query is ever dropped**:
+
+        1. the listener closes (new connections are refused),
+        2. every open connection stops consuming request lines,
+        3. every request already received is answered and flushed,
+        4. the connections close and :meth:`drain` returns.
+
+        Idempotent and re-entrant: concurrent callers all wait for the same
+        completion.  The batcher is *not* stopped here (the caller owns it,
+        and may serve the same batcher over several transports); stop it
+        after every transport has drained.
+        """
+        if self._drain_event is None:
+            return  # never started: nothing in flight by construction
+        self._drain_event.set()
+        await self.stop()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
 
     async def serve_forever(self) -> None:
         """Block serving until cancelled."""
@@ -145,6 +220,11 @@ class AsyncQueryServer:
         write_lock = asyncio.Lock()
         slots = asyncio.Semaphore(self._max_pipelined)
         tasks: Set["asyncio.Task[None]"] = set()
+        conn_task = asyncio.current_task()
+        if conn_task is not None:
+            self._conn_tasks.add(conn_task)
+        assert self._drain_event is not None
+        drain_wait = asyncio.ensure_future(self._drain_event.wait())
 
         def release_slot(task: "asyncio.Task[None]") -> None:
             tasks.discard(task)
@@ -156,8 +236,27 @@ class AsyncQueryServer:
                 # a client writing but never reading its socket), stop
                 # consuming lines until a slot frees.
                 await slots.acquire()
+                if drain_wait.done():
+                    # Draining: stop consuming request lines.  Requests
+                    # already dispatched finish (and flush) in ``finally``.
+                    slots.release()
+                    break
+                read = asyncio.ensure_future(reader.readline())
+                await asyncio.wait(
+                    {read, drain_wait}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if not read.done():
+                    # Drain began while blocked on the socket: abandon the
+                    # read (the connection is closing anyway) and wind down.
+                    read.cancel()
+                    try:
+                        await read
+                    except (asyncio.CancelledError, ValueError, OSError):
+                        pass
+                    slots.release()
+                    break
                 try:
-                    line = await reader.readline()
+                    line = read.result()
                 except ValueError:
                     # The line overran the stream's buffer limit; the stream
                     # cannot be resynchronised, so answer explicitly and end
@@ -178,29 +277,44 @@ class AsyncQueryServer:
                 if not line:
                     slots.release()
                     break
+                # The latency clock starts *here*, at line receipt: parse and
+                # validation time is part of what the client observes, so it
+                # must be part of what the server reports.
+                received = asyncio.get_running_loop().time()
                 # A task per request: queries across lines (and clients)
                 # overlap, which is what feeds the micro-batcher.
                 task = asyncio.ensure_future(
-                    self._handle_line(line, writer, write_lock)
+                    self._handle_line(line, received, writer, write_lock)
                 )
                 tasks.add(task)
                 task.add_done_callback(release_slot)
         finally:
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
+            if not drain_wait.done():
+                drain_wait.cancel()
+                try:
+                    await drain_wait
+                except asyncio.CancelledError:
+                    pass
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+            if conn_task is not None:
+                self._conn_tasks.discard(conn_task)
 
     async def _handle_line(
         self,
         line: bytes,
+        received: float,
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
     ) -> None:
-        await self._write_response(writer, write_lock, await self._answer(line))
+        await self._write_response(
+            writer, write_lock, await self._answer(line, received)
+        )
 
     async def _write_response(
         self,
@@ -216,7 +330,12 @@ class AsyncQueryServer:
             except (ConnectionError, OSError):
                 pass  # client went away; nothing to deliver the answer to
 
-    async def _answer(self, line: bytes) -> dict:
+    async def _answer(
+        self, line: bytes, received: Optional[float] = None
+    ) -> dict:
+        loop = asyncio.get_running_loop()
+        if received is None:
+            received = loop.time()
         request_id = None
         try:
             request = json.loads(line)
@@ -233,14 +352,28 @@ class AsyncQueryServer:
                     "op": "stats",
                     "stats": self._batcher.stats().as_dict(),
                 }
+            if op == "drain":
+                # Acknowledge first, drain as a background task: drain()
+                # waits for every connection handler — including the one
+                # carrying this very request — so awaiting it here would
+                # deadlock.
+                asyncio.ensure_future(self.drain())
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "op": "drain",
+                    "draining": True,
+                }
+            if op == "reload":
+                outcome = apply_reload(
+                    self._batcher, request.get("config", {})
+                )
+                return {"id": request_id, "ok": True, "op": "reload", **outcome}
             if op != "query":
                 raise ValueError(f"unknown op {op!r}")
-            query = self._parse_query(request)
-            timeout_ms = request.get("timeout_ms")
-            if timeout_ms is not None:
-                timeout_ms = float(_require_number(timeout_ms, "timeout_ms"))
-                if timeout_ms <= 0:
-                    raise ValueError(f"timeout_ms must be > 0, got {timeout_ms}")
+            query, timeout_ms = parse_query_request(
+                request, self._batcher.engine.solver.graph.num_nodes
+            )
         except (ValueError, TypeError, KeyError) as exc:
             return {
                 "id": request_id,
@@ -249,8 +382,8 @@ class AsyncQueryServer:
                 "message": str(exc),
             }
 
-        loop = asyncio.get_running_loop()
-        received = loop.time()
+        if self._recorder is not None:
+            self._recorder.record_query(query, timeout_ms=timeout_ms)
         try:
             result = await self._batcher.submit(query, timeout_ms=timeout_ms)
         except QueryRejectedError as exc:
@@ -275,29 +408,6 @@ class AsyncQueryServer:
             "top": [[int(node), float(score)] for node, score in result.top_k()],
             "latency_ms": (loop.time() - received) * 1e3,
         }
-
-    def _parse_query(self, request: dict) -> PPRQuery:
-        """Validate and build the query (bad fields must not poison a batch).
-
-        Integer fields are validated strictly — ``42.9`` is a bad request,
-        not a silent truncation to seed 42, and JSON booleans are rejected
-        (``check_node_id`` would refuse them anyway; ``_require_int`` keeps
-        ``k``/``length`` to the same standard).
-        """
-        if "seed" not in request:
-            raise ValueError("query request must carry a 'seed'")
-        seed = check_node_id(
-            _require_int(request["seed"], "seed"),
-            self._batcher.engine.solver.graph.num_nodes,
-            "seed",
-        )
-        return PPRQuery(
-            seed=seed,
-            k=_require_int(request.get("k", 200), "k"),
-            alpha=float(_require_number(request.get("alpha", 0.85), "alpha")),
-            length=_require_int(request.get("length", 6), "length"),
-        )
-
 
 def build_parser() -> argparse.ArgumentParser:
     """The server CLI's argument parser."""
@@ -352,6 +462,16 @@ def build_parser() -> argparse.ArgumentParser:
             "else auto); every kernel returns bit-identical scores"
         ),
     )
+    parser.add_argument(
+        "--record",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record every accepted query (with arrival offsets) to this "
+            "JSONL trace on shutdown, for replay as a repeatable benchmark "
+            "(repro.serving.frontend.recorder)"
+        ),
+    )
     return parser
 
 
@@ -374,8 +494,14 @@ def build_frontend(args: argparse.Namespace):
         # therefore maps to the worker-side cache switch here.
         cache = None
         if args.no_cache and isinstance(backend, ProcessPoolBackend):
+            # Rebuild with *every* constructor argument preserved: dropping
+            # mp_context or kernel here would silently serve with a different
+            # start method / diffusion kernel than the operator asked for.
             backend = ProcessPoolBackend(
-                num_workers=backend.num_workers, cache_bytes=None
+                num_workers=backend.num_workers,
+                mp_context=backend.mp_context,
+                cache_bytes=None,
+                kernel=backend.kernel,
             )
     else:
         cache = None if args.no_cache else SubgraphCache()
@@ -417,26 +543,57 @@ def build_frontend(args: argparse.Namespace):
     return engine, policy, admission
 
 
+def install_drain_signal_handler(server) -> None:
+    """Wire ``SIGTERM`` to a graceful drain of ``server`` (best effort).
+
+    On platforms without ``add_signal_handler`` (Windows event loops) this
+    is a no-op — operators there use the protocol-level drain instead
+    (``{"op": "drain"}`` over TCP, ``POST /admin/drain`` over HTTP).
+    """
+    import signal
+
+    loop = asyncio.get_running_loop()
+
+    def trigger() -> None:
+        print("SIGTERM: draining (in-flight queries will complete)")
+        asyncio.ensure_future(server.drain())
+
+    try:
+        loop.add_signal_handler(signal.SIGTERM, trigger)
+    except (NotImplementedError, RuntimeError):  # pragma: no cover - non-POSIX
+        pass
+
+
 def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - blocks serving
-    """Command-line entry point: serve a dataset until interrupted."""
+    """Command-line entry point: serve a dataset until drained/interrupted."""
+    from repro.serving.frontend.recorder import WorkloadRecorder
+
     args = build_parser().parse_args(argv)
     engine, policy, admission = build_frontend(args)
+    recorder = WorkloadRecorder() if args.record else None
 
     async def serve() -> None:
         async with MicroBatcher(engine, policy, admission) as batcher:
-            server = AsyncQueryServer(batcher, args.host, args.port)
+            server = AsyncQueryServer(
+                batcher, args.host, args.port, recorder=recorder
+            )
             host, port = await server.start()
+            install_drain_signal_handler(server)
             print(
                 f"serving {engine.solver.graph.name} on {host}:{port} "
                 f"(backend {engine.backend.name}, policy {policy.label}, "
                 f"max_pending {admission.max_pending})"
             )
             try:
+                # Ends via CancelledError when a drain (SIGTERM or the
+                # protocol op) closes the listener.
                 await server.serve_forever()
             except asyncio.CancelledError:
                 pass
             finally:
-                await server.stop()
+                # Idempotent: completes any in-flight queries on every exit
+                # path before the batcher shuts down.
+                await server.drain()
 
     try:
         asyncio.run(serve())
@@ -444,6 +601,9 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - blocks 
         print("interrupted; shutting down")
     finally:
         engine.close()
+        if recorder is not None and args.record:
+            count = recorder.save(args.record)
+            print(f"recorded {count} queries to {args.record}")
     return 0
 
 

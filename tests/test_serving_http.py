@@ -1,0 +1,581 @@
+"""Tests for the HTTP/JSON front door, its /metrics endpoint and live ops.
+
+Everything runs against a real socket on an ephemeral localhost port: the
+differential round-trip (HTTP answers identical to the in-process engine),
+status-code mapping for shed/deadline/bad-request, the Prometheus
+exposition (scraped and parsed in-test), graceful drain with zero in-flight
+drops, and hot config reload under traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.diffusion.sparse_vector import SparseScoreVector
+from repro.meloppr.config import MeLoPPRConfig
+from repro.meloppr.solver import MeLoPPRSolver
+from repro.ppr.base import PPRQuery, PPRResult, PPRSolver
+from repro.serving import QueryEngine, SubgraphCache
+from repro.serving.frontend import (
+    AdmissionController,
+    AsyncQueryServer,
+    BatchPolicy,
+    HttpClient,
+    HttpClientPool,
+    HttpQueryServer,
+    MicroBatcher,
+    parse_prometheus_text,
+)
+from repro.serving.result_cache import ScoreTableCache
+
+
+@pytest.fixture()
+def config():
+    return MeLoPPRConfig(stage_lengths=(3, 3), track_memory=False)
+
+
+class SleepySolver(PPRSolver):
+    """Stub solver with a fixed service time (forces queueing)."""
+
+    name = "sleepy"
+
+    def __init__(self, graph, delay_seconds: float) -> None:
+        super().__init__(graph)
+        self.delay_seconds = delay_seconds
+
+    def solve(self, query: PPRQuery) -> PPRResult:
+        time.sleep(self.delay_seconds)
+        return PPRResult(query=query, scores=SparseScoreVector({query.seed: 1.0}))
+
+
+def serve_http(engine, policy=None, admission=None, **server_kwargs):
+    """Async context manager: batcher + HTTP server + connected client."""
+
+    class _Stack:
+        async def __aenter__(self):
+            self.batcher = MicroBatcher(engine, policy, admission)
+            await self.batcher.start()
+            self.server = HttpQueryServer(self.batcher, **server_kwargs)
+            host, port = await self.server.start()
+            self.client = await HttpClient(host, port).connect()
+            return self.client, self.server
+
+        async def __aexit__(self, exc_type, exc, traceback):
+            await self.client.close()
+            await self.server.stop()
+            await self.batcher.stop()
+
+    return _Stack()
+
+
+class TestHttpRoundTrip:
+    def test_http_answers_match_engine(self, small_ba_graph, config):
+        queries = [PPRQuery(seed=s, k=30) for s in (3, 11, 27, 3, 11)]
+        with QueryEngine(MeLoPPRSolver(small_ba_graph, config)) as reference:
+            expected = [
+                [[int(n), float(s)] for n, s in result.top_k()]
+                for result in reference.solve_batch(queries)
+            ]
+
+        engine = QueryEngine(
+            MeLoPPRSolver(small_ba_graph, config), cache=SubgraphCache()
+        )
+
+        async def run():
+            async with serve_http(engine) as (_, server):
+                host, port = server.address
+                async with HttpClientPool(host, port, size=4) as pool:
+                    return await asyncio.gather(
+                        *(
+                            pool.query({"seed": q.seed, "k": q.k})
+                            for q in queries
+                        )
+                    )
+
+        with engine:
+            responses = asyncio.run(run())
+        assert [status for status, _ in responses] == [200] * len(queries)
+        assert [body["top"] for _, body in responses] == expected
+
+    def test_query_response_shape(self, small_ba_graph, config):
+        engine = QueryEngine(MeLoPPRSolver(small_ba_graph, config))
+
+        async def run():
+            async with serve_http(engine) as (client, _):
+                return await client.query({"id": "q1", "seed": 3, "k": 10})
+
+        with engine:
+            status, body = asyncio.run(run())
+        assert status == 200
+        assert body["ok"] is True
+        assert body["id"] == "q1"
+        assert body["seed"] == 3
+        assert body["k"] == 10
+        assert body["latency_ms"] >= 0
+        assert len(body["top"]) <= 10
+        assert all(len(pair) == 2 for pair in body["top"])
+
+    def test_healthz_and_stats(self, small_ba_graph, config):
+        engine = QueryEngine(MeLoPPRSolver(small_ba_graph, config))
+
+        async def run():
+            async with serve_http(engine) as (client, _):
+                health = await client.request_json("GET", "/healthz")
+                await client.query({"seed": 3, "k": 10})
+                stats = await client.request_json("GET", "/stats")
+                return health, stats
+
+        with engine:
+            (health_status, health), (stats_status, stats) = asyncio.run(run())
+        assert health_status == 200 and health["status"] == "serving"
+        assert stats_status == 200
+        assert stats["admission"]["completed"] == 1
+        assert stats["engine"]["queries_served"] == 1
+
+    def test_keep_alive_serves_sequential_requests(self, small_ba_graph, config):
+        engine = QueryEngine(MeLoPPRSolver(small_ba_graph, config))
+
+        async def run():
+            async with serve_http(engine) as (client, _):
+                first = await client.query({"seed": 1, "k": 5})
+                second = await client.query({"seed": 2, "k": 5})
+                return first, second
+
+        with engine:
+            (s1, b1), (s2, b2) = asyncio.run(run())
+        assert s1 == s2 == 200
+        assert b1["seed"] == 1 and b2["seed"] == 2
+
+    def test_connection_close_is_honoured(self, small_ba_graph, config):
+        engine = QueryEngine(MeLoPPRSolver(small_ba_graph, config))
+
+        async def run():
+            async with serve_http(engine) as (client, _):
+                status, headers, _ = await client.request(
+                    "GET", "/healthz", headers={"Connection": "close"}
+                )
+                assert headers["connection"] == "close"
+                # The client auto-closed; the next request reconnects.
+                status2, _ = await client.request_json("GET", "/healthz")
+                return status, status2
+
+        with engine:
+            status, status2 = asyncio.run(run())
+        assert status == 200 and status2 == 200
+
+
+class TestHttpStatusMapping:
+    def test_shed_is_429(self, small_ba_graph):
+        engine = QueryEngine(SleepySolver(small_ba_graph, delay_seconds=0.05))
+        admission = AdmissionController(max_pending=2)
+        policy = BatchPolicy(max_batch_size=1, max_wait_ms=0.0)
+
+        async def run():
+            async with serve_http(engine, policy, admission) as (_, server):
+                host, port = server.address
+                async with HttpClientPool(host, port, size=12) as pool:
+                    return await asyncio.gather(
+                        *(pool.query({"seed": s % 5, "k": 10}) for s in range(12))
+                    )
+
+        with engine:
+            responses = asyncio.run(run())
+        statuses = [status for status, _ in responses]
+        assert statuses.count(200) + statuses.count(429) == 12
+        assert 429 in statuses, "overload must produce explicit 429s"
+        assert 200 in statuses, "admitted queries must still be answered"
+        shed_bodies = [body for status, body in responses if status == 429]
+        assert all(body["error"] == "shed" for body in shed_bodies)
+
+    def test_deadline_is_504(self, small_ba_graph):
+        engine = QueryEngine(SleepySolver(small_ba_graph, delay_seconds=0.1))
+        policy = BatchPolicy(max_batch_size=1, max_wait_ms=0.0)
+
+        async def run():
+            async with serve_http(engine, policy) as (_, server):
+                host, port = server.address
+                async with HttpClientPool(host, port, size=2) as pool:
+                    blocker = asyncio.ensure_future(
+                        pool.query({"seed": 1, "k": 10})
+                    )
+                    await asyncio.sleep(0.02)
+                    doomed = await pool.query(
+                        {"seed": 2, "k": 10, "timeout_ms": 5.0}
+                    )
+                    await blocker
+                    return doomed
+
+        with engine:
+            status, body = asyncio.run(run())
+        assert status == 504
+        assert body["error"] == "deadline"
+
+    def test_bad_request_is_400(self, small_ba_graph, config):
+        engine = QueryEngine(MeLoPPRSolver(small_ba_graph, config))
+
+        async def run():
+            async with serve_http(engine) as (client, _):
+                return await client.query({"seed": 10_000, "k": 10})
+
+        with engine:
+            status, body = asyncio.run(run())
+        assert status == 400
+        assert body["error"] == "bad_request"
+
+
+class TestMetricsEndpoint:
+    def test_metrics_is_valid_prometheus_and_counts_match(
+        self, small_ba_graph, config
+    ):
+        engine = QueryEngine(
+            MeLoPPRSolver(small_ba_graph, config),
+            cache=SubgraphCache(),
+            result_cache=ScoreTableCache(),
+        )
+
+        async def run():
+            async with serve_http(engine) as (client, _):
+                for seed in (3, 3, 7, 3):
+                    status, _ = await client.query({"seed": seed, "k": 10})
+                    assert status == 200
+                status, headers, raw = await client.request("GET", "/metrics")
+                return status, headers, raw
+
+        with engine:
+            status, headers, raw = asyncio.run(run())
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        scrape = parse_prometheus_text(raw.decode("utf-8"))
+
+        # Outcome ledger.
+        assert scrape.value("repro_queries_offered_total") == 4
+        assert scrape.value("repro_queries_completed_total") == 4
+        assert scrape.value("repro_queries_shed_total") == 0
+        assert scrape.value("repro_queries_deadline_expired_total") == 0
+        assert scrape.value("repro_server_draining") == 0
+
+        # Latency summary: quantiles present and ordered, sum/count coherent.
+        p50 = scrape.value("repro_request_latency_seconds", quantile="0.5")
+        p95 = scrape.value("repro_request_latency_seconds", quantile="0.95")
+        p99 = scrape.value("repro_request_latency_seconds", quantile="0.99")
+        assert 0 < p50 <= p95 <= p99
+        assert scrape.value("repro_request_latency_seconds_count") == 4
+        assert scrape.value("repro_request_latency_seconds_sum") > 0
+
+        # Cache tiers: combined = subgraph + result, counter-wise, and the
+        # hot seed (3 queried three times) produced result-cache hits.
+        for family in ("repro_cache_hits_total", "repro_cache_misses_total"):
+            combined = scrape.value(family, cache="combined")
+            subgraph = scrape.value(family, cache="subgraph")
+            result = scrape.value(family, cache="result")
+            assert combined == subgraph + result
+        assert scrape.value("repro_cache_hits_total", cache="result") >= 2
+        for tier in ("combined", "subgraph", "result"):
+            ratio = scrape.value("repro_cache_hit_ratio", cache=tier)
+            assert 0.0 <= ratio <= 1.0
+
+        # Engine families.
+        assert scrape.value("repro_engine_queries_served_total") == 4
+        assert scrape.types["repro_queries_completed_total"] == "counter"
+        assert scrape.types["repro_request_latency_seconds"] == "summary"
+
+    def test_metrics_reflects_shed_and_draining(self, small_ba_graph):
+        engine = QueryEngine(SleepySolver(small_ba_graph, delay_seconds=0.05))
+        admission = AdmissionController(max_pending=1)
+        policy = BatchPolicy(max_batch_size=1, max_wait_ms=0.0)
+
+        async def run():
+            async with serve_http(engine, policy, admission) as (_, server):
+                host, port = server.address
+                async with HttpClientPool(host, port, size=6) as pool:
+                    responses = await asyncio.gather(
+                        *(pool.query({"seed": s, "k": 5}) for s in range(6))
+                    )
+                    shed = sum(1 for status, _ in responses if status == 429)
+                    status, _, raw = await pool._clients[0].request(
+                        "GET", "/metrics"
+                    )
+                    return shed, raw.decode("utf-8")
+
+        with engine:
+            shed, exposition = asyncio.run(run())
+        assert shed > 0
+        scrape = parse_prometheus_text(exposition)
+        assert scrape.value("repro_queries_shed_total") == shed
+
+
+class TestGracefulDrain:
+    def test_drain_completes_every_inflight_query(self, small_ba_graph):
+        """The drain contract: zero admitted queries dropped."""
+        engine = QueryEngine(SleepySolver(small_ba_graph, delay_seconds=0.1))
+        policy = BatchPolicy(max_batch_size=1, max_wait_ms=0.0)
+
+        async def run():
+            batcher = MicroBatcher(engine, policy)
+            await batcher.start()
+            server = HttpQueryServer(batcher)
+            host, port = await server.start()
+            slow_client = await HttpClient(host, port).connect()
+            admin_client = await HttpClient(host, port).connect()
+            try:
+                # A slow query is in flight when the drain begins.
+                inflight = asyncio.ensure_future(
+                    slow_client.query({"seed": 1, "k": 5})
+                )
+                await asyncio.sleep(0.02)
+                status, body = await admin_client.request_json(
+                    "POST", "/admin/drain"
+                )
+                assert status == 202 and body["draining"] is True
+                # The in-flight query still completes with its answer.
+                answer_status, answer = await inflight
+                assert answer_status == 200
+                assert answer["ok"] is True and answer["seed"] == 1
+                await server.drain()  # wait for full completion
+                assert server.draining
+                # New connections are refused: the listener is closed.
+                with pytest.raises(OSError):
+                    await HttpClient(host, port).connect()
+            finally:
+                await slow_client.close()
+                await admin_client.close()
+                await server.drain()
+                await batcher.stop()
+
+        with engine:
+            asyncio.run(run())
+
+    def test_healthz_reports_draining(self, small_ba_graph, config):
+        """Once the drain begins, the health check flips to 503/draining.
+
+        Checked at the routing layer: over the wire an *idle* keep-alive
+        connection is closed the moment the drain starts (by design), so a
+        request only observes the 503 in the race window where its bytes
+        were already received — not something a test can time reliably.
+        """
+        engine = QueryEngine(MeLoPPRSolver(small_ba_graph, config))
+
+        async def run():
+            async with MicroBatcher(engine) as batcher:
+                server = HttpQueryServer(batcher)
+                await server.start()
+                status, body, _ = await server._route("GET", "/healthz", b"", 0.0)
+                assert status == 200 and body["status"] == "serving"
+                await server.drain()
+                status, body, _ = await server._route("GET", "/healthz", b"", 0.0)
+                assert status == 503
+                assert body["status"] == "draining"
+
+        with engine:
+            asyncio.run(run())
+
+    def test_drain_closes_idle_keepalive_connections(self, small_ba_graph, config):
+        engine = QueryEngine(MeLoPPRSolver(small_ba_graph, config))
+
+        async def run():
+            async with MicroBatcher(engine) as batcher:
+                server = HttpQueryServer(batcher)
+                host, port = await server.start()
+                idle = await HttpClient(host, port).connect()
+                try:
+                    status, _ = await idle.request_json("GET", "/healthz")
+                    assert status == 200
+                    await server.drain()
+                    # The idle connection was closed by the server; the next
+                    # request on it fails rather than hanging forever.
+                    with pytest.raises((ConnectionError, OSError)):
+                        await asyncio.wait_for(
+                            idle.request_json("GET", "/healthz"), timeout=5
+                        )
+                finally:
+                    await idle.close()
+
+        with engine:
+            asyncio.run(run())
+
+    def test_drain_is_idempotent_and_safe_unstarted(self, small_ba_graph, config):
+        engine = QueryEngine(MeLoPPRSolver(small_ba_graph, config))
+
+        async def run():
+            batcher = MicroBatcher(engine)
+            await batcher.start()
+            # Unstarted server: drain is a no-op, not a crash.
+            unstarted = HttpQueryServer(batcher)
+            await unstarted.drain()
+            server = HttpQueryServer(batcher)
+            await server.start()
+            await server.drain()
+            await server.drain()  # idempotent
+            await batcher.stop()
+
+        with engine:
+            asyncio.run(run())
+
+
+class TestHotReload:
+    def test_reload_applies_without_dropping_queries(self, small_ba_graph):
+        engine = QueryEngine(SleepySolver(small_ba_graph, delay_seconds=0.05))
+        policy = BatchPolicy(max_batch_size=1, max_wait_ms=0.0)
+
+        async def run():
+            async with serve_http(engine, policy) as (client, server):
+                host, port = server.address
+                slow_client = await HttpClient(host, port).connect()
+                try:
+                    inflight = asyncio.ensure_future(
+                        slow_client.query({"seed": 1, "k": 5})
+                    )
+                    await asyncio.sleep(0.01)
+                    status, body = await client.request_json(
+                        "POST",
+                        "/admin/reload",
+                        {"max_pending": 99, "max_batch_size": 16,
+                         "max_wait_ms": 3.5, "dedup": False},
+                    )
+                    inflight_status, inflight_body = await inflight
+                    return status, body, inflight_status, inflight_body, server
+                finally:
+                    await slow_client.close()
+
+        with engine:
+            status, body, inflight_status, inflight_body, server = asyncio.run(run())
+        assert status == 200 and body["ok"] is True
+        assert sorted(body["applied"]) == [
+            "dedup", "max_batch_size", "max_pending", "max_wait_ms",
+        ]
+        assert body["config"]["max_pending"] == 99
+        assert body["config"]["max_batch_size"] == 16
+        assert body["config"]["max_wait_ms"] == 3.5
+        assert body["config"]["dedup"] is False
+        # The query in flight across the reload was not dropped.
+        assert inflight_status == 200 and inflight_body["ok"] is True
+        # And the live objects reflect the new configuration.
+        assert server.batcher.policy.max_batch_size == 16
+        assert server.batcher.admission.max_pending == 99
+
+    def test_reload_resizes_caches_and_reports_evictions(
+        self, small_ba_graph, config
+    ):
+        engine = QueryEngine(
+            MeLoPPRSolver(small_ba_graph, config),
+            cache=SubgraphCache(),
+            result_cache=ScoreTableCache(),
+        )
+
+        async def run():
+            async with serve_http(engine) as (client, _):
+                for seed in (3, 7, 11, 19):
+                    status, _ = await client.query({"seed": seed, "k": 10})
+                    assert status == 200
+                return await client.request_json(
+                    "POST",
+                    "/admin/reload",
+                    {"cache_bytes": 1024, "result_cache_bytes": 1024},
+                )
+
+        with engine:
+            status, body = asyncio.run(run())
+        assert status == 200
+        assert body["evicted"]["cache"] >= 1
+        assert body["evicted"]["result_cache"] >= 1
+        assert engine.cache.max_bytes == 1024
+        assert engine.result_cache.max_bytes == 1024
+        assert engine.cache.stats.current_bytes <= 1024
+
+    def test_bad_reload_is_rejected_wholesale(self, small_ba_graph, config):
+        engine = QueryEngine(MeLoPPRSolver(small_ba_graph, config))
+
+        async def run():
+            async with serve_http(engine) as (client, server):
+                before = server.batcher.admission.max_pending
+                # One bad field: nothing applies (all-or-nothing).
+                status, body = await client.request_json(
+                    "POST",
+                    "/admin/reload",
+                    {"max_pending": 77, "max_batch_size": -1},
+                )
+                after = server.batcher.admission.max_pending
+                return status, body, before, after
+
+        with engine:
+            status, body, before, after = asyncio.run(run())
+        assert status == 400
+        assert body["error"] == "bad_request"
+        assert "max_batch_size" in body["message"]
+        assert after == before
+
+
+class TestServerValidation:
+    def test_rejects_nonpositive_max_body_bytes(self, small_ba_graph, config):
+        engine = QueryEngine(MeLoPPRSolver(small_ba_graph, config))
+        with pytest.raises(ValueError, match="max_body_bytes"):
+            HttpQueryServer(MicroBatcher(engine), max_body_bytes=0)
+        engine.close()
+
+    def test_address_before_start_raises(self, small_ba_graph, config):
+        engine = QueryEngine(MeLoPPRSolver(small_ba_graph, config))
+        server = HttpQueryServer(MicroBatcher(engine))
+        with pytest.raises(RuntimeError, match="not started"):
+            server.address
+        engine.close()
+
+    def test_double_start_raises_and_stop_is_idempotent(
+        self, small_ba_graph, config
+    ):
+        engine = QueryEngine(MeLoPPRSolver(small_ba_graph, config))
+
+        async def run():
+            batcher = MicroBatcher(engine)
+            await batcher.start()
+            server = HttpQueryServer(batcher)
+            await server.start()
+            with pytest.raises(RuntimeError, match="already started"):
+                await server.start()
+            await server.stop()
+            await server.stop()  # idempotent
+            await batcher.stop()
+
+        with engine:
+            asyncio.run(run())
+
+
+class TestSharedBatcherAcrossTransports:
+    def test_tcp_and_http_serve_one_batcher(self, small_ba_graph, config):
+        """Both front doors share admission, batching and caches."""
+        engine = QueryEngine(
+            MeLoPPRSolver(small_ba_graph, config), cache=SubgraphCache()
+        )
+
+        async def run():
+            from repro.serving.frontend import AsyncClient
+
+            async with MicroBatcher(engine) as batcher:
+                tcp_server = AsyncQueryServer(batcher)
+                http_server = HttpQueryServer(batcher)
+                tcp_host, tcp_port = await tcp_server.start()
+                http_host, http_port = await http_server.start()
+                try:
+                    tcp_client = await AsyncClient.connect(tcp_host, tcp_port)
+                    async with HttpClient(http_host, http_port) as http_client:
+                        tcp_answer = await tcp_client.solve(seed=3, k=10)
+                        status, http_answer = await http_client.query(
+                            {"seed": 3, "k": 10}
+                        )
+                    await tcp_client.close()
+                    stats = batcher.stats()
+                    return tcp_answer, status, http_answer, stats
+                finally:
+                    await tcp_server.stop()
+                    await http_server.stop()
+
+        with engine:
+            tcp_answer, status, http_answer, stats = asyncio.run(run())
+        assert status == 200
+        assert [[n, s] for n, s in tcp_answer] == http_answer["top"]
+        # One admission ledger across both transports.
+        assert stats.admission.completed == 2
+        # The second query hit the sub-graph cache warmed by the first.
+        assert stats.engine.cache.hits > 0

@@ -507,3 +507,200 @@ class TestClientLifecycle:
 
         with engine:
             asyncio.run(run())
+
+
+class TestReportedLatency:
+    def test_reported_latency_covers_the_full_server_path(self, small_ba_graph):
+        """The wire-reported latency clock starts at line receipt.
+
+        It must therefore dominate the admission-measured latency (which
+        starts later, at submit): a reported latency below the batcher's
+        own measurement would mean the server was excluding parse/dispatch
+        time from what it tells clients.
+        """
+        engine = QueryEngine(SleepySolver(small_ba_graph, delay_seconds=0.05))
+
+        async def run():
+            async with serve(engine) as (client, server):
+                response = await client.request({"seed": 1, "k": 5})
+                stats = server.batcher.stats()
+                return response, stats
+
+        with engine:
+            response, stats = asyncio.run(run())
+        assert response["ok"] is True
+        reported_ms = response["latency_ms"]
+        measured_ms = stats.admission.latency.max_seconds * 1e3
+        assert measured_ms > 0
+        assert reported_ms >= measured_ms
+        # And it is a real measurement of the sleepy solve, not a stopwatch
+        # started after the work happened.
+        assert reported_ms >= 50.0
+
+
+class TestProcessBackendCLIRebuild:
+    def test_no_cache_rebuild_preserves_process_backend_config(self):
+        """Regression: ``--no-cache`` rebuilds the backend; the rebuild must
+        keep the worker count, spawn context and kernel of the original."""
+        from repro.serving.frontend.server import build_frontend, build_parser
+
+        args = build_parser().parse_args(
+            [
+                "--no-cache",
+                "--backend",
+                "process:2",
+                "--kernel",
+                "csr",
+            ]
+        )
+        engine, _, _ = build_frontend(args)
+        try:
+            assert engine.cache is None
+            assert engine.result_cache is None
+            # The engine-resolved kernel (what every stage task runs with).
+            assert engine.kernel == "csr"
+            # The rebuilt backend keeps the original's full configuration.
+            assert engine.backend.name == "process-pool"
+            assert engine.backend.num_workers == 2
+            from repro.diffusion.kernels import resolve_kernel_name
+            from repro.serving.backends import make_backend
+
+            pristine = make_backend("process:2")
+            try:
+                assert engine.backend.kernel == pristine.kernel
+                assert engine.backend.mp_context == pristine.mp_context
+            finally:
+                pristine.close()
+            assert engine.backend.kernel == resolve_kernel_name(None)
+        finally:
+            engine.close()
+
+    def test_cached_process_backend_keeps_kernel(self):
+        from repro.serving.frontend.server import build_frontend, build_parser
+
+        args = build_parser().parse_args(["--backend", "process:2", "--kernel", "csr"])
+        engine, _, _ = build_frontend(args)
+        try:
+            assert engine.kernel == "csr"
+            assert engine.backend.name == "process-pool"
+            assert engine.backend.num_workers == 2
+        finally:
+            engine.close()
+
+
+class TestTcpLiveOps:
+    def test_drain_op_completes_inflight_and_refuses_new_connections(
+        self, small_ba_graph
+    ):
+        engine = QueryEngine(SleepySolver(small_ba_graph, delay_seconds=0.1))
+        policy = BatchPolicy(max_batch_size=1, max_wait_ms=0.0)
+
+        async def run():
+            batcher = MicroBatcher(engine, policy)
+            await batcher.start()
+            server = AsyncQueryServer(batcher)
+            host, port = await server.start()
+            client = await AsyncClient.connect(host, port)
+            try:
+                inflight = asyncio.ensure_future(client.solve(seed=1, k=5))
+                await asyncio.sleep(0.02)
+                ack = await client.request({"op": "drain"})
+                assert ack["ok"] is True and ack["draining"] is True
+                # The in-flight query still completes with its answer.
+                assert await inflight == [(1, 1.0)]
+                await server.drain()  # wait for the background drain
+                assert server.draining
+                with pytest.raises(OSError):
+                    await AsyncClient.connect(host, port)
+            finally:
+                await client.close()
+                await server.drain()
+                await batcher.stop()
+
+        with engine:
+            asyncio.run(run())
+
+    def test_sigterm_triggers_graceful_drain(self, small_ba_graph):
+        import os
+        import signal
+
+        from repro.serving.frontend.server import install_drain_signal_handler
+
+        engine = QueryEngine(SleepySolver(small_ba_graph, delay_seconds=0.1))
+        policy = BatchPolicy(max_batch_size=1, max_wait_ms=0.0)
+
+        async def run():
+            batcher = MicroBatcher(engine, policy)
+            await batcher.start()
+            server = AsyncQueryServer(batcher)
+            host, port = await server.start()
+            install_drain_signal_handler(server)
+            client = await AsyncClient.connect(host, port)
+            try:
+                inflight = asyncio.ensure_future(client.solve(seed=1, k=5))
+                await asyncio.sleep(0.02)
+                os.kill(os.getpid(), signal.SIGTERM)
+                # The signal handler schedules the drain on the loop; the
+                # in-flight query must still be answered, then the listener
+                # refuses new connections.
+                assert await inflight == [(1, 1.0)]
+                await server.drain()
+                assert server.draining
+                with pytest.raises(OSError):
+                    await AsyncClient.connect(host, port)
+            finally:
+                asyncio.get_running_loop().remove_signal_handler(signal.SIGTERM)
+                await client.close()
+                await server.drain()
+                await batcher.stop()
+
+        with engine:
+            asyncio.run(run())
+
+    def test_reload_op_applies_and_reports(self, small_ba_graph, config):
+        engine = QueryEngine(MeLoPPRSolver(small_ba_graph, config))
+
+        async def run():
+            async with serve(engine) as (client, server):
+                response = await client.request(
+                    {
+                        "op": "reload",
+                        "config": {"max_pending": 128, "max_wait_ms": 5.0},
+                    }
+                )
+                assert response["ok"] is True
+                assert sorted(response["applied"]) == [
+                    "max_pending",
+                    "max_wait_ms",
+                ]
+                assert response["config"]["max_pending"] == 128
+                assert server.batcher.admission.max_pending == 128
+                assert server.batcher.policy.max_wait_ms == 5.0
+                # The connection is still serving after the reload.
+                answer = await client.solve(seed=3, k=10)
+                assert len(answer) > 0
+
+        with engine:
+            asyncio.run(run())
+
+    def test_reload_op_bad_key_is_typed_and_changes_nothing(
+        self, small_ba_graph, config
+    ):
+        engine = QueryEngine(MeLoPPRSolver(small_ba_graph, config))
+
+        async def run():
+            async with serve(engine) as (client, server):
+                before = server.batcher.admission.max_pending
+                response = await client.request(
+                    {
+                        "op": "reload",
+                        "config": {"max_pending": 5, "warp_speed": True},
+                    }
+                )
+                assert response["ok"] is False
+                assert response["error"] == "bad_request"
+                assert "warp_speed" in response["message"]
+                assert server.batcher.admission.max_pending == before
+
+        with engine:
+            asyncio.run(run())
