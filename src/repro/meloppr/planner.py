@@ -30,7 +30,16 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+from typing import (
+    Callable,
+    ContextManager,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -653,6 +662,7 @@ def execute_plan(
     extract: Optional[ExtractFn] = None,
     after_stage: Optional[Callable[[MeLoPPRPlan], None]] = None,
     kernel: Union[str, DiffusionKernel, None] = None,
+    span: Optional[Callable[..., ContextManager]] = None,
 ) -> PPRResult:
     """Drive a plan to completion with the serial reference executor.
 
@@ -662,10 +672,15 @@ def execute_plan(
     :meth:`MeLoPPRPlan.stage_one_state` after the first stage), so there is
     one serial drive loop in the library, not two hand-synchronised copies.
     ``kernel`` selects the (bit-exact) diffusion kernel for every task.
+    ``span`` (optional) is a tracing hook — a callable returning a context
+    manager, opened around each stage as ``span("engine.stage", stage=...,
+    num_tasks=...)`` (see :mod:`repro.serving.tracing`); the untraced path
+    pays a single ``is None`` check per stage.
     """
     try:
         while not plan.done:
-            plan.complete_stage(
+            tasks = plan.pending_tasks
+            outcomes = (
                 execute_stage_task(
                     plan.graph,
                     task,
@@ -673,8 +688,17 @@ def execute_plan(
                     timing=plan.timing,
                     kernel=kernel,
                 )
-                for task in plan.pending_tasks
+                for task in tasks
             )
+            if span is None:
+                plan.complete_stage(outcomes)
+            else:
+                with span(
+                    "engine.stage",
+                    stage=tasks[0].stage_index,
+                    num_tasks=len(tasks),
+                ):
+                    plan.complete_stage(outcomes)
             if after_stage is not None:
                 after_stage(plan)
     finally:

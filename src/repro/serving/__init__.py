@@ -13,6 +13,12 @@ string with :func:`make_backend`).  The algorithmic stage loop it drives lives i
 :mod:`repro.meloppr.planner`; the online request path — micro-batching,
 admission control, the TCP/JSON service — lives in
 :mod:`repro.serving.frontend`.
+
+Observability cuts across all of it: attach a :class:`Tracer` to the engine
+and sampled queries record a span tree — admission wait, batch membership,
+per-stage compute, cache hit/miss, shard routing, worker-side spans shipped
+back across the process pool — exportable as Chrome trace-event JSON
+(:mod:`repro.serving.tracing`).
 """
 
 from repro.serving.backends import (
@@ -37,6 +43,15 @@ from repro.serving.shm import (
     leaked_segment_names,
 )
 from repro.serving.telemetry import LatencyHistogram, LatencySnapshot
+from repro.serving.tracing import (
+    Span,
+    TraceContext,
+    Tracer,
+    TracingStats,
+    format_traceparent,
+    parse_traceparent,
+    validate_trace_events,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -61,4 +76,11 @@ __all__ = [
     "leaked_segment_names",
     "LatencyHistogram",
     "LatencySnapshot",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "TracingStats",
+    "format_traceparent",
+    "parse_traceparent",
+    "validate_trace_events",
 ]

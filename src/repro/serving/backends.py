@@ -54,6 +54,7 @@ from typing import (
 )
 
 from repro.serving.cache import DEFAULT_CACHE_BYTES, CacheStats, SubgraphCache
+from repro.serving.tracing import monotonic_wall, worker_task_spans
 
 __all__ = [
     "ExecutionBackend",
@@ -383,9 +384,15 @@ def _process_worker_main(
     small sub-graphs:
 
     * request ``("tasks", request_id, kernel_name,
-      [(shard_id_or_None, StageTask), ...])``
-      → response ``("ok", request_id, [StageTaskOutcome, ...], timing_seconds)``
-      or ``("err", request_id, exception)`` (the whole group fails)
+      [(shard_id_or_None, StageTask), ...], traced)``
+      → response ``("ok", request_id, [StageTaskOutcome, ...], timing_seconds,
+      span_dicts_or_None)`` or ``("err", request_id, exception)`` (the whole
+      group fails).  ``traced`` piggybacks the query's sampling decision on
+      the existing message; a traced group records wall-anchored worker-side
+      spans (task + extract/diffusion children, see
+      :func:`repro.serving.tracing.worker_task_spans`) which the parent
+      re-parents into the query's trace — untraced groups ship ``None`` and
+      skip every clock read.
     * request ``("stats", request_id)`` →
       response ``("stats", request_id, cache_counters_or_None)``
     * request ``("reset-stats", request_id)`` → zero the worker's cache
@@ -409,16 +416,30 @@ def _process_worker_main(
             break
         kind = item[0]
         if kind == "tasks":
-            _, request_id, kernel_name, entries = item
+            _, request_id, kernel_name, entries, traced = item
             try:
                 outcomes = []
                 timing: Dict[str, float] = {}
+                spans: Optional[List[dict]] = [] if traced else None
                 for shard_id, task in entries:
+                    started = monotonic_wall() if traced else 0.0
                     outcome, task_timing = state.run_task(task, shard_id, kernel_name)
+                    if spans is not None:
+                        spans.extend(
+                            worker_task_spans(
+                                task.stage_index,
+                                task.center,
+                                shard_id,
+                                started,
+                                monotonic_wall(),
+                                task_timing,
+                                cache_hit=outcome.cache_hit,
+                            )
+                        )
                     outcomes.append(_compact_outcome(outcome))
                     for bucket, seconds in task_timing.items():
                         timing[bucket] = timing.get(bucket, 0.0) + seconds
-                responses.put(("ok", request_id, outcomes, timing))
+                responses.put(("ok", request_id, outcomes, timing, spans))
             except BaseException as exc:
                 responses.put(("err", request_id, _picklable_exception(exc)))
         elif kind == "stats":
@@ -789,7 +810,7 @@ class ProcessPoolBackend(ExecutionBackend):
         if future is None:  # pragma: no cover - late response after a crash
             return
         if kind == "ok":
-            future.set_result((message[2], message[3]))
+            future.set_result((message[2], message[3], message[4]))
         elif kind == "stats":
             future.set_result(message[2])
         else:
@@ -827,6 +848,7 @@ class ProcessPoolBackend(ExecutionBackend):
         queue_index: int,
         kernel: str,
         entries: List[Tuple[Optional[int], object]],
+        traced: bool = False,
     ) -> Future:
         """Send one worker its share of a stage as a single message."""
         with self._pending_lock:
@@ -835,7 +857,9 @@ class ProcessPoolBackend(ExecutionBackend):
             request_id = next(self._task_ids)
             future: Future = Future()
             self._pending[request_id] = future
-        self._request_queues[queue_index].put(("tasks", request_id, kernel, entries))
+        self._request_queues[queue_index].put(
+            ("tasks", request_id, kernel, entries, traced)
+        )
         return future
 
     def run_stage_tasks(
@@ -844,6 +868,7 @@ class ProcessPoolBackend(ExecutionBackend):
         fallback: Optional[Callable] = None,
         timing=None,
         kernel: Optional[str] = None,
+        trace=None,
     ) -> List:
         """Execute one stage's tasks, in order, on the worker pool.
 
@@ -857,7 +882,10 @@ class ProcessPoolBackend(ExecutionBackend):
         in the workers meanwhile.  ``timing`` (a
         :class:`~repro.utils.timing.TimingBreakdown`) receives the workers'
         ``bfs``/``diffusion`` buckets so plan timing stays populated under
-        remote execution.
+        remote execution.  ``trace`` (an optional
+        :class:`~repro.serving.tracing.TraceContext`) asks the workers to
+        record per-task spans, shipped back on the response message and
+        re-parented here under the caller's open stage span.
         """
         tasks = list(tasks)
         if not tasks:
@@ -885,8 +913,12 @@ class ProcessPoolBackend(ExecutionBackend):
             )
             positions.append(position)
             entries.append((shard_id, task))
+        traced = trace is not None
         remote = [
-            (positions, self._dispatch_group(queue_index, kernel_name, entries))
+            (
+                positions,
+                self._dispatch_group(queue_index, kernel_name, entries, traced),
+            )
             for queue_index, (positions, entries) in groups.items()
         ]
         if local:
@@ -901,10 +933,12 @@ class ProcessPoolBackend(ExecutionBackend):
                     kernel=kernel_name,
                 )
         for positions, future in remote:
-            outcomes, group_timing = future.result()
+            outcomes, group_timing, spans = future.result()
             if timing is not None:
                 for bucket, seconds in group_timing.items():
                     timing.add(bucket, seconds)
+            if trace is not None and spans:
+                trace.adopt(spans)
             for position, outcome in zip(positions, outcomes):
                 slots[position] = outcome
         return slots

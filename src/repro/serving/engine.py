@@ -39,13 +39,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.diffusion.kernels import DiffusionKernel, resolve_kernel_name
-from repro.meloppr.planner import MeLoPPRPlan, execute_plan
+from repro.meloppr.planner import MeLoPPRPlan, default_extract, execute_plan
 from repro.ppr.base import PPRQuery, PPRResult, PPRSolver
 from repro.serving.backends import ExecutionBackend, SerialBackend
 from repro.serving.cache import CacheStats, SubgraphCache
 from repro.serving.result_cache import ScoreTableCache, stage_one_cache_key
 from repro.serving.sharding import RouterStats, ShardRouter
 from repro.serving.telemetry import LatencyHistogram, LatencySnapshot
+from repro.serving.tracing import TraceContext, Tracer, TracingStats
 
 __all__ = ["EngineStats", "QueryEngine"]
 
@@ -97,6 +98,9 @@ class EngineStats:
         reconcile as ``cache == extraction caches + result_cache``.
     router:
         Snapshot of the shard-routing counters (``None`` when unsharded).
+    tracing:
+        Snapshot of the tracer's counters — offered/sampled/finished traces,
+        recorded spans, slow traces (``None`` when no tracer is attached).
     """
 
     backend: str
@@ -110,6 +114,7 @@ class EngineStats:
     cache: Optional[CacheStats] = None
     result_cache: Optional[CacheStats] = None
     router: Optional[RouterStats] = None
+    tracing: Optional[TracingStats] = None
 
     @property
     def throughput_qps(self) -> float:
@@ -142,6 +147,7 @@ class EngineStats:
         self.cache = None
         self.result_cache = None
         self.router = None
+        self.tracing = None
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict form for JSON reports."""
@@ -163,6 +169,7 @@ class EngineStats:
                 None if self.result_cache is None else self.result_cache.as_dict()
             ),
             "router": None if self.router is None else self.router.as_dict(),
+            "tracing": None if self.tracing is None else self.tracing.as_dict(),
         }
 
 
@@ -202,6 +209,13 @@ class QueryEngine:
         plan executor, stage-task backends ship it to their workers.  All
         kernels are bit-identical, so this is purely a speed knob and
         deliberately **not** part of any cache key.
+    tracer:
+        Optional :class:`~repro.serving.tracing.Tracer`.  Sampled queries
+        (driven through ``solve_batch(queries, contexts=...)``) record a
+        span tree — per-stage spans, cache hit/miss and shard-routing
+        annotations, worker-side spans re-parented across the process-pool
+        IPC boundary.  ``None`` (the default) keeps the hot path free of
+        any tracing work beyond ``is None`` checks.
 
     Example
     -------
@@ -224,6 +238,7 @@ class QueryEngine:
         router: Optional[ShardRouter] = None,
         result_cache: Optional[ScoreTableCache] = None,
         kernel: Union[str, DiffusionKernel, None] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if cache is not None and router is not None:
             raise ValueError(
@@ -244,6 +259,7 @@ class QueryEngine:
         self._cache = cache
         self._router = router
         self._result_cache = result_cache
+        self._tracer = tracer
         self._pending: List[PPRQuery] = []
         self._stats = EngineStats(backend=self._backend.name)
         self._latency = LatencyHistogram()
@@ -313,6 +329,11 @@ class QueryEngine:
         return self._result_cache
 
     @property
+    def tracer(self) -> Optional[Tracer]:
+        """The attached tracer (``None`` when tracing is off)."""
+        return self._tracer
+
+    @property
     def num_pending(self) -> int:
         """Queries submitted but not yet drained."""
         return len(self._pending)
@@ -330,13 +351,35 @@ class QueryEngine:
             return []
         return self.solve_batch(pending)
 
-    def solve_batch(self, queries: Sequence[PPRQuery]) -> List[PPRResult]:
-        """Answer a batch of queries through the backend, in input order."""
+    def solve_batch(
+        self,
+        queries: Sequence[PPRQuery],
+        contexts: Optional[Sequence[Optional[TraceContext]]] = None,
+    ) -> List[PPRResult]:
+        """Answer a batch of queries through the backend, in input order.
+
+        ``contexts`` (optional, same length as ``queries``) carries one
+        :class:`~repro.serving.tracing.TraceContext` — or ``None`` — per
+        query; sampled queries record engine/stage/cache/worker spans into
+        theirs.  Omitting it (the common case) keeps the dispatch path
+        byte-for-byte the pre-tracing one.
+        """
         queries = list(queries)
         if not queries:
             return []
         start = time.perf_counter()
-        results = self._backend.map(self._solve_one, queries)
+        if contexts is None:
+            results = self._backend.map(self._solve_one, queries)
+        else:
+            contexts = list(contexts)
+            if len(contexts) != len(queries):
+                raise ValueError(
+                    f"contexts length {len(contexts)} != queries length "
+                    f"{len(queries)}"
+                )
+            results = self._backend.map(
+                self._solve_traced, list(zip(queries, contexts))
+            )
         wall = time.perf_counter() - start
 
         with self._stats_lock:
@@ -352,7 +395,22 @@ class QueryEngine:
                 self._latency.record(latency)
         return results
 
-    def _solve_one(self, query: PPRQuery) -> PPRResult:
+    def _solve_traced(self, job) -> PPRResult:
+        """Backend-map adapter for ``(query, context)`` pairs."""
+        query, ctx = job
+        if ctx is None:
+            return self._solve_one(query)
+        with ctx.span(
+            "engine.query",
+            seed=int(query.seed),
+            k=int(query.k),
+            backend=self._backend.name,
+        ):
+            return self._solve_one(query, ctx)
+
+    def _solve_one(
+        self, query: PPRQuery, ctx: Optional[TraceContext] = None
+    ) -> PPRResult:
         """Answer one query (runs on a backend worker)."""
         start = time.perf_counter()
         result_cache_outcome: Optional[str] = None
@@ -364,6 +422,16 @@ class QueryEngine:
                 extract = self._cache.get_or_extract
             else:
                 extract = None
+            if ctx is not None and not getattr(
+                self._backend, "executes_stage_tasks", False
+            ):
+                # Traced in-process extraction: wrap the hook so every
+                # extraction records a span with cache hit/miss and (when
+                # sharded) shard-routing annotations.  Stage-task backends
+                # extract inside their workers, which record their own spans.
+                extract = self._traced_extract(
+                    extract if extract is not None else default_extract, ctx
+                )
             # tracemalloc is process-global: under a concurrent backend two
             # plans measuring at once would corrupt each other's peaks, so
             # force tracking off there (peak_memory_bytes then reports the
@@ -382,6 +450,11 @@ class QueryEngine:
             )
             install: Optional[Callable[[MeLoPPRPlan], None]] = None
             if result_cache is not None:
+                rc_span = (
+                    None
+                    if ctx is None
+                    else ctx.begin_span("engine.result_cache")
+                )
                 key = stage_one_cache_key(plan)
                 state = result_cache.get(key)
                 if state is not None:
@@ -398,17 +471,36 @@ class QueryEngine:
                         key, done_plan.stage_one_state()
                     )
                     result_cache_outcome = "miss"
-            result = self._drive_plan(plan, extract, install=install)
+                if rc_span is not None:
+                    ctx.end_span(rc_span, outcome=result_cache_outcome)
+            result = self._drive_plan(plan, extract, install=install, ctx=ctx)
         else:
             result = self._solver.solve(query)
         latency = time.perf_counter() - start
         return self._finish_result(result, latency, result_cache_outcome)
+
+    def _traced_extract(self, inner, ctx: TraceContext):
+        """Wrap an extraction hook so each call records an ``extract`` span."""
+        router = self._router
+
+        def traced(graph, center, depth):
+            with ctx.span("extract", center=int(center), depth=int(depth)) as span:
+                if router is not None:
+                    shard_id, fallback = router.route_info(center, depth)
+                    span.attributes["shard_id"] = shard_id
+                    span.attributes["halo_fallback"] = fallback
+                subgraph, bfs, cache_hit = inner(graph, center, depth)
+                span.attributes["cache_hit"] = bool(cache_hit)
+            return subgraph, bfs, cache_hit
+
+        return traced
 
     def _drive_plan(
         self,
         plan: MeLoPPRPlan,
         extract,
         install: Optional[Callable[[MeLoPPRPlan], None]] = None,
+        ctx: Optional[TraceContext] = None,
     ) -> PPRResult:
         """Drive a plan to completion through the backend.
 
@@ -435,18 +527,38 @@ class QueryEngine:
 
         if not getattr(self._backend, "executes_stage_tasks", False):
             return execute_plan(
-                plan, extract=extract, after_stage=after_stage, kernel=self._kernel
+                plan,
+                extract=extract,
+                after_stage=after_stage,
+                kernel=self._kernel,
+                span=None if ctx is None else ctx.span,
             )
         try:
             while not plan.done:
-                plan.complete_stage(
-                    self._backend.run_stage_tasks(
-                        plan.pending_tasks,
-                        fallback=extract,
-                        timing=plan.timing,
-                        kernel=self._kernel,
+                tasks = plan.pending_tasks
+                stage_span = (
+                    None
+                    if ctx is None
+                    else ctx.begin_span(
+                        "engine.stage",
+                        push=True,
+                        stage=tasks[0].stage_index,
+                        num_tasks=len(tasks),
                     )
                 )
+                try:
+                    plan.complete_stage(
+                        self._backend.run_stage_tasks(
+                            tasks,
+                            fallback=extract,
+                            timing=plan.timing,
+                            kernel=self._kernel,
+                            trace=ctx,
+                        )
+                    )
+                finally:
+                    if stage_span is not None:
+                        ctx.end_span(stage_span)
                 if after_stage is not None:
                     after_stage(plan)
         finally:
@@ -520,6 +632,9 @@ class QueryEngine:
                 cache=cache_stats,
                 result_cache=result_cache_stats,
                 router=router_stats,
+                tracing=(
+                    None if self._tracer is None else self._tracer.stats()
+                ),
             )
 
     def reset_stats(self, reset_cache_stats: bool = False) -> None:
@@ -541,6 +656,11 @@ class QueryEngine:
         with self._stats_lock:
             self._stats.reset()
             self._latency.reset()
+        # Tracing counters are serving counters, not cache counters: they
+        # reset unconditionally, like the latency histogram (the trace ring
+        # buffer itself is debug state and survives — see Tracer.clear()).
+        if self._tracer is not None:
+            self._tracer.reset_stats()
         if reset_cache_stats:
             if self._cache is not None:
                 self._cache.reset_stats()

@@ -26,6 +26,9 @@ into the well-formed batches that engine is optimised for:
 * :class:`WorkloadRecorder` / :func:`replay_trace` — capture accepted
   queries with arrival offsets as JSONL traces and replay them as
   repeatable benchmarks.
+* :func:`configure_logging` / :func:`log_request` — structured per-request
+  logging (``--log-level``/``--log-json`` on both server CLIs), one line
+  per answered query carrying the trace id when the query was sampled.
 """
 
 from repro.serving.frontend.admission import (
@@ -45,6 +48,11 @@ from repro.serving.frontend.metrics import (
     render_prometheus,
 )
 from repro.serving.frontend.ops import RELOADABLE_KEYS, apply_reload, frontend_config
+from repro.serving.frontend.request_log import (
+    REQUEST_LOGGER_NAME,
+    configure_logging,
+    log_request,
+)
 from repro.serving.frontend.recorder import (
     TraceRecord,
     WorkloadRecorder,
@@ -72,12 +80,15 @@ __all__ = [
     "QueryRejectedError",
     "QueryShedError",
     "RELOADABLE_KEYS",
+    "REQUEST_LOGGER_NAME",
     "ServerError",
     "TraceRecord",
     "WorkloadRecorder",
     "apply_reload",
+    "configure_logging",
     "frontend_config",
     "load_trace",
+    "log_request",
     "parse_prometheus_text",
     "render_prometheus",
     "replay_trace",

@@ -44,6 +44,7 @@ from repro.serving.frontend.admission import (
     AdmissionStats,
     DeadlineExceededError,
 )
+from repro.serving.tracing import Span, TraceContext
 
 __all__ = ["BatchPolicy", "BatcherStats", "MicroBatcher"]
 
@@ -145,7 +146,7 @@ class BatcherStats:
 class _Waiter:
     """One awaited submission: its query, future, deadline and arrival time."""
 
-    __slots__ = ("query", "future", "deadline", "enqueued_at")
+    __slots__ = ("query", "future", "deadline", "enqueued_at", "trace", "queue_span")
 
     def __init__(
         self,
@@ -153,11 +154,14 @@ class _Waiter:
         future: "asyncio.Future[PPRResult]",
         deadline: Optional[float],
         enqueued_at: float,
+        trace: Optional[TraceContext] = None,
     ) -> None:
         self.query = query
         self.future = future
         self.deadline = deadline
         self.enqueued_at = enqueued_at
+        self.trace = trace
+        self.queue_span: Optional[Span] = None
 
 
 _STOP = object()
@@ -279,9 +283,18 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------
     async def submit(
-        self, query: PPRQuery, timeout_ms: Optional[float] = None
+        self,
+        query: PPRQuery,
+        timeout_ms: Optional[float] = None,
+        trace: Optional[TraceContext] = None,
     ) -> PPRResult:
         """Submit one query; resolves when its batch completes.
+
+        ``trace`` (an optional sampled
+        :class:`~repro.serving.tracing.TraceContext`) records the queue wait
+        (``admission.queue``), batch membership and dedup fan-out
+        (``batcher.batch``), and is threaded into the engine so the query's
+        full span tree hangs together.  The caller finishes the context.
 
         Raises
         ------
@@ -300,7 +313,15 @@ class MicroBatcher:
         self._admission.admit()
         now = loop.time()
         deadline = now + timeout_ms / 1000.0 if timeout_ms is not None else None
-        waiter = _Waiter(query, loop.create_future(), deadline, now)
+        waiter = _Waiter(query, loop.create_future(), deadline, now, trace)
+        if trace is not None:
+            # Spans the admission-to-execution wait: queued behind the
+            # scheduler plus any coalescing window.
+            waiter.queue_span = trace.begin_span(
+                "admission.queue",
+                queue_depth=len(self._items),
+                pending=self._admission.pending,
+            )
         self._push(waiter)
         return await waiter.future
 
@@ -361,9 +382,13 @@ class MicroBatcher:
         index: Dict[PPRQuery, int] = {}
         for waiter in batch:
             if waiter.future.done():  # caller gave up while queued
+                if waiter.trace is not None and waiter.queue_span is not None:
+                    waiter.trace.end_span(waiter.queue_span, status="cancelled")
                 self._admission.cancel()
                 continue
             if waiter.deadline is not None and now > waiter.deadline:
+                if waiter.trace is not None and waiter.queue_span is not None:
+                    waiter.trace.end_span(waiter.queue_span, status="deadline")
                 waiter.future.set_exception(
                     DeadlineExceededError(
                         f"deadline passed {now - waiter.deadline:.3f}s before "
@@ -382,13 +407,51 @@ class MicroBatcher:
             return
 
         unique = [query for query, _ in groups]
+        # Tracing: per dedup group, the first traced waiter's context rides
+        # into the engine (one computation → one engine span tree); every
+        # traced waiter gets a batcher.batch span, dedup passengers annotated
+        # as such.  The common all-untraced case skips all of this.
+        contexts: Optional[List[Optional[TraceContext]]] = None
+        batch_spans: List[Tuple[_Waiter, Span]] = []
+        if any(w.trace is not None for _, waiters in groups for w in waiters):
+            contexts = []
+            for _, waiters in groups:
+                representative = next(
+                    (w.trace for w in waiters if w.trace is not None), None
+                )
+                contexts.append(representative)
+                for waiter in waiters:
+                    if waiter.trace is None:
+                        continue
+                    if waiter.queue_span is not None:
+                        waiter.trace.end_span(waiter.queue_span)
+                    batch_spans.append(
+                        (
+                            waiter,
+                            waiter.trace.begin_span(
+                                "batcher.batch",
+                                push=waiter.trace is representative,
+                                batch_size=len(batch),
+                                unique=len(groups),
+                                group_size=len(waiters),
+                                dedup_hit=waiter.trace is not representative,
+                            ),
+                        )
+                    )
         try:
             # Off the loop: solve_batch is CPU-bound (its own backend decides
             # the intra-batch concurrency).
-            results = await loop.run_in_executor(
-                None, self._engine.solve_batch, unique
-            )
+            if contexts is None:
+                results = await loop.run_in_executor(
+                    None, self._engine.solve_batch, unique
+                )
+            else:
+                results = await loop.run_in_executor(
+                    None, self._engine.solve_batch, unique, contexts
+                )
         except Exception as exc:
+            for waiter, span in batch_spans:
+                waiter.trace.end_span(span, status="error")
             for _, waiters in groups:
                 for waiter in waiters:
                     if waiter.future.done():
@@ -399,6 +462,8 @@ class MicroBatcher:
             return
 
         end = loop.time()
+        for waiter, span in batch_spans:
+            waiter.trace.end_span(span)
         self._batches += 1
         self._unique_executed += len(unique)
         for (_, waiters), result in zip(groups, results):

@@ -25,9 +25,20 @@ Endpoints::
     POST /admin/drain   begin a graceful drain; 202, in-flight queries
                         complete, the process's serve loop exits
     POST /admin/reload  hot-apply config overrides (max_pending, batch
-                        policy, cache budgets) without dropping queries;
-                        body = the override object, response echoes the
-                        effective config (repro.serving.frontend.ops)
+                        policy, cache budgets, trace sampling) without
+                        dropping queries; body = the override object,
+                        response echoes the effective config
+                        (repro.serving.frontend.ops)
+    GET  /debug/traces  the tracer's ring of finished span trees as JSON
+                        (404 unless the server runs with --trace-sample)
+    GET  /debug/traces/perfetto
+                        the same ring in Chrome trace-event format — save
+                        the body and load it in Perfetto or chrome://tracing
+
+``POST /query`` honours a W3C ``traceparent`` request header: with a tracer
+configured, a sampled-flagged header forces the query to record a span tree
+under the supplied trace id, echoed back as ``trace_id`` in the response
+body (see :mod:`repro.serving.tracing`).
 
 The implementation is deliberately stdlib-asyncio-only (no aiohttp):
 HTTP/1.1 with ``Content-Length`` bodies and keep-alive, one request at a
@@ -58,6 +69,7 @@ from repro.serving.frontend.admission import QueryRejectedError
 from repro.serving.frontend.batcher import MicroBatcher
 from repro.serving.frontend.metrics import render_prometheus
 from repro.serving.frontend.ops import apply_reload
+from repro.serving.frontend.request_log import log_request
 from repro.serving.frontend.server import parse_query_request
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -349,7 +361,7 @@ class HttpQueryServer:
                 return False  # client disconnected mid-body
 
         status, payload, content_type = await self._route(
-            method, target, body, received
+            method, target, body, received, headers
         )
         sent = await self._respond(
             writer,
@@ -397,13 +409,19 @@ class HttpQueryServer:
 
     # ------------------------------------------------------------------
     async def _route(
-        self, method: str, target: str, body: bytes, received: float
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        received: float,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, object, str]:
         """Dispatch to a handler; returns ``(status, payload, content_type)``.
 
         ``payload`` is a dict (JSON-encoded on the way out) except for
         ``/metrics``, which returns the exposition text directly.
         """
+        headers = headers or {}
         path = target.split("?", 1)[0]
         json_type = "application/json"
         routes = {
@@ -413,6 +431,8 @@ class HttpQueryServer:
             "/metrics": "GET",
             "/admin/drain": "POST",
             "/admin/reload": "POST",
+            "/debug/traces": "GET",
+            "/debug/traces/perfetto": "GET",
         }
         if path not in routes:
             return (
@@ -463,8 +483,34 @@ class HttpQueryServer:
                     json_type,
                 )
             return 200, {"ok": True, **outcome}, json_type
+        if path in ("/debug/traces", "/debug/traces/perfetto"):
+            tracer = self._batcher.engine.tracer
+            if tracer is None:
+                return (
+                    404,
+                    {
+                        "ok": False,
+                        "error": "not_found",
+                        "message": (
+                            "tracing is disabled; start the server with "
+                            "--trace-sample > 0 (or reload trace_sample)"
+                        ),
+                    },
+                    json_type,
+                )
+            if path.endswith("/perfetto"):
+                return 200, tracer.perfetto(), json_type
+            return (
+                200,
+                {
+                    "ok": True,
+                    "stats": tracer.stats().as_dict(),
+                    "traces": tracer.traces(),
+                },
+                json_type,
+            )
         # path == "/query"
-        response = await self._answer_query(body, received)
+        response = await self._answer_query(body, received, headers)
         status = 200 if response.get("ok") else _ERROR_STATUS.get(
             str(response.get("error")), 500
         )
@@ -492,7 +538,9 @@ class HttpQueryServer:
             )
         return payload
 
-    async def _answer_query(self, body: bytes, received: float) -> dict:
+    async def _answer_query(
+        self, body: bytes, received: float, headers: Dict[str, str]
+    ) -> dict:
         """The ``POST /query`` handler: same semantics as the TCP query op."""
         loop = asyncio.get_running_loop()
         request_id = None
@@ -510,11 +558,34 @@ class HttpQueryServer:
                 "message": str(exc),
             }
 
+        tracer = self._batcher.engine.tracer
+        ctx = None
+        if tracer is not None:
+            ctx = tracer.start_trace(
+                "request",
+                traceparent=headers.get("traceparent"),
+                transport="http",
+                seed=query.seed,
+            )
         if self._recorder is not None:
             self._recorder.record_query(query, timeout_ms=timeout_ms)
         try:
-            result = await self._batcher.submit(query, timeout_ms=timeout_ms)
+            result = await self._batcher.submit(
+                query, timeout_ms=timeout_ms, trace=ctx
+            )
         except QueryRejectedError as exc:
+            latency_ms = (loop.time() - received) * 1e3
+            if ctx is not None:
+                ctx.finish(status=exc.code, latency_ms=latency_ms)
+            log_request(
+                "http",
+                exc.code,
+                latency_ms=latency_ms,
+                request_id=request_id,
+                seed=query.seed,
+                k=query.k,
+                trace_id=None if ctx is None else ctx.trace_id,
+            )
             return {
                 "id": request_id,
                 "ok": False,
@@ -522,20 +593,50 @@ class HttpQueryServer:
                 "message": str(exc),
             }
         except Exception as exc:  # engine failure: report, keep serving
+            latency_ms = (loop.time() - received) * 1e3
+            if ctx is not None:
+                ctx.finish(status="internal", latency_ms=latency_ms)
+            log_request(
+                "http",
+                "internal",
+                latency_ms=latency_ms,
+                request_id=request_id,
+                seed=query.seed,
+                k=query.k,
+                trace_id=None if ctx is None else ctx.trace_id,
+            )
             return {
                 "id": request_id,
                 "ok": False,
                 "error": "internal",
                 "message": f"{type(exc).__name__}: {exc}",
             }
-        return {
+        latency_ms = (loop.time() - received) * 1e3
+        if ctx is not None:
+            ctx.finish(status="ok", latency_ms=latency_ms)
+        serving_meta = result.metadata.get("serving", {})
+        log_request(
+            "http",
+            "ok",
+            latency_ms=latency_ms,
+            request_id=request_id,
+            seed=query.seed,
+            k=query.k,
+            trace_id=None if ctx is None else ctx.trace_id,
+            result_cache=serving_meta.get("result_cache"),
+            cache_enabled=serving_meta.get("cache_enabled"),
+        )
+        response = {
             "id": request_id,
             "ok": True,
             "seed": query.seed,
             "k": query.k,
             "top": [[int(node), float(score)] for node, score in result.top_k()],
-            "latency_ms": (loop.time() - received) * 1e3,
+            "latency_ms": latency_ms,
         }
+        if ctx is not None:
+            response["trace_id"] = ctx.trace_id
+        return response
 
     # ------------------------------------------------------------------
     async def _respond(
@@ -760,6 +861,7 @@ class HttpClientPool:
 def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - blocks serving
     """Command-line entry point: serve a dataset over HTTP until drained."""
     from repro.serving.frontend.recorder import WorkloadRecorder
+    from repro.serving.frontend.request_log import configure_logging
     from repro.serving.frontend.server import (
         build_frontend,
         build_parser,
@@ -769,6 +871,7 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - blocks 
     parser = build_parser()
     parser.set_defaults(port=7080)  # keep clear of the TCP default (7071)
     args = parser.parse_args(argv)
+    configure_logging(args.log_level, json_mode=args.log_json)
     engine, policy, admission = build_frontend(args)
     recorder = WorkloadRecorder() if args.record else None
 

@@ -262,6 +262,47 @@ def render_prometheus(
         _cache_families(writer, caches)
 
     # ------------------------------------------------------------------
+    # Tracing: sampling/span counters, when a tracer is attached.
+    # ------------------------------------------------------------------
+    tracing = engine.tracing
+    if tracing is not None:
+        writer.counter(
+            f"{p}_traces_started_total",
+            tracing.started,
+            "Queries that reached the tracer's sampling decision.",
+        )
+        writer.counter(
+            f"{p}_traces_sampled_total",
+            tracing.sampled,
+            "Queries selected for tracing (locally sampled or forced by traceparent).",
+        )
+        writer.counter(
+            f"{p}_traces_finished_total",
+            tracing.finished,
+            "Sampled traces finished and recorded in the ring.",
+        )
+        writer.counter(
+            f"{p}_trace_spans_total",
+            tracing.spans,
+            "Spans recorded across all finished traces.",
+        )
+        writer.counter(
+            f"{p}_slow_traces_total",
+            tracing.slow_traces,
+            "Finished traces over the slow-query threshold.",
+        )
+        writer.counter(
+            f"{p}_traces_dropped_total",
+            tracing.dropped,
+            "Finished traces evicted from the in-memory ring.",
+        )
+        writer.gauge(
+            f"{p}_trace_sample_rate",
+            tracing.sample_rate,
+            "Configured probability of tracing a query (hot-reloadable).",
+        )
+
+    # ------------------------------------------------------------------
     # Sharding: router counters, when serving a partitioned graph.
     # ------------------------------------------------------------------
     router = engine.router

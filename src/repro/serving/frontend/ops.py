@@ -13,7 +13,11 @@ op), then applies them to the running frontend:
   (:meth:`~repro.serving.frontend.batcher.MicroBatcher.set_policy`; the
   batch being collected finishes under the old policy);
 * ``cache_bytes`` / ``result_cache_bytes`` — the engine-level cache budgets
-  (``resize``: shrinking evicts LRU entries, growing keeps everything warm).
+  (``resize``: shrinking evicts LRU entries, growing keeps everything warm);
+* ``trace_sample`` — the tracer's sampling probability
+  (:meth:`~repro.serving.tracing.Tracer.set_sample_rate`), so an operator
+  can turn tracing up on a misbehaving server and back down afterwards
+  without a restart.
 
 Validation is all-or-nothing: every override is checked before anything is
 applied, so a reload with one bad field changes nothing.  No query is ever
@@ -42,6 +46,7 @@ RELOADABLE_KEYS = (
     "dedup",
     "cache_bytes",
     "result_cache_bytes",
+    "trace_sample",
 )
 
 
@@ -79,6 +84,9 @@ def frontend_config(batcher: MicroBatcher) -> Dict[str, object]:
         "cache_bytes": None if engine.cache is None else engine.cache.max_bytes,
         "result_cache_bytes": (
             None if engine.result_cache is None else engine.result_cache.max_bytes
+        ),
+        "trace_sample": (
+            None if engine.tracer is None else engine.tracer.sample_rate
         ),
     }
 
@@ -196,6 +204,21 @@ def apply_reload(
             )
         )
         applied.append("result_cache_bytes")
+
+    if "trace_sample" in overrides:
+        rate = _strict_number(overrides["trace_sample"], "trace_sample")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(
+                f"trace_sample must be within [0, 1], got {rate}"
+            )
+        if engine.tracer is None:
+            raise ValueError(
+                "trace_sample: this engine has no tracer to adjust (start "
+                "the server with --trace-sample to attach one)"
+            )
+        tracer = engine.tracer
+        actions.append(lambda: tracer.set_sample_rate(rate))
+        applied.append("trace_sample")
 
     # ------------------------------------------------------------------
     # Apply.  Every action is in-place and non-throwing after validation.

@@ -1,0 +1,117 @@
+"""Structured per-request logging for the serving front door.
+
+Both server CLIs take ``--log-level``/``--log-json``; at ``info`` and below,
+every answered query emits one log line — JSONL with ``--log-json`` (one
+JSON object per line, machine-parseable) or a compact ``key=value`` line
+otherwise.  The line carries the trace id when the query was sampled, so
+logs and traces share ids: grep the slow-query log or ``/debug/traces`` for
+a trace id seen in the request log (or vice versa) and land on the same
+request.
+
+The logger is ``repro.serving.request``; library code never configures the
+root logger, and :func:`log_request` is guarded by ``isEnabledFor`` so the
+default (``warning``) level keeps the per-request cost to one integer
+comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Any, Dict, Optional
+
+__all__ = ["REQUEST_LOGGER_NAME", "configure_logging", "log_request"]
+
+REQUEST_LOGGER_NAME = "repro.serving.request"
+
+_LEVELS = ("critical", "error", "warning", "info", "debug")
+
+
+class _JsonFormatter(logging.Formatter):
+    """One JSON object per record; ``request`` fields are inlined."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+        }
+        fields = getattr(record, "request", None)
+        if isinstance(fields, dict):
+            payload.update(fields)
+        else:
+            payload["message"] = record.getMessage()
+        return json.dumps(payload, separators=(",", ":"))
+
+
+class _PlainFormatter(logging.Formatter):
+    """``key=value`` pairs, stable order, human-greppable."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        fields = getattr(record, "request", None)
+        if isinstance(fields, dict):
+            body = " ".join(f"{key}={value}" for key, value in fields.items())
+        else:
+            body = record.getMessage()
+        return f"{self.formatTime(record)} {record.levelname.lower()} {body}"
+
+
+def configure_logging(level: str = "warning", json_mode: bool = False) -> logging.Logger:
+    """Configure the request logger for a server process (idempotent).
+
+    Replaces any handlers a previous call installed, so tests and repeated
+    CLI invocations in one process behave the same as a fresh one.
+    """
+    normalized = str(level).lower()
+    if normalized not in _LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {', '.join(_LEVELS)}"
+        )
+    logger = logging.getLogger(REQUEST_LOGGER_NAME)
+    logger.setLevel(getattr(logging, normalized.upper()))
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler()
+    handler.setFormatter(_JsonFormatter() if json_mode else _PlainFormatter())
+    logger.addHandler(handler)
+    return logger
+
+
+def log_request(
+    transport: str,
+    status: str,
+    latency_ms: Optional[float] = None,
+    request_id: Optional[object] = None,
+    seed: Optional[int] = None,
+    k: Optional[int] = None,
+    trace_id: Optional[str] = None,
+    result_cache: Optional[str] = None,
+    cache_enabled: Optional[bool] = None,
+    logger: Optional[logging.Logger] = None,
+) -> None:
+    """Emit one structured line for an answered (or rejected) query.
+
+    ``status`` is the protocol-level outcome (``ok``, ``shed``, ``deadline``,
+    ``bad_request``, ``internal``); ``trace_id`` is present exactly when the
+    query was sampled, tying this line to its span tree.
+    """
+    log = logger if logger is not None else logging.getLogger(REQUEST_LOGGER_NAME)
+    if not log.isEnabledFor(logging.INFO):
+        return
+    fields: Dict[str, Any] = {"transport": transport, "status": status}
+    if request_id is not None:
+        fields["id"] = request_id
+    if seed is not None:
+        fields["seed"] = seed
+    if k is not None:
+        fields["k"] = k
+    if latency_ms is not None:
+        fields["latency_ms"] = round(float(latency_ms), 3)
+    if trace_id is not None:
+        fields["trace_id"] = trace_id
+    if result_cache is not None:
+        fields["result_cache"] = result_cache
+    if cache_enabled is not None:
+        fields["cache_enabled"] = cache_enabled
+    log.info("request", extra={"request": fields})

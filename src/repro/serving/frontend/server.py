@@ -1,10 +1,16 @@
 """A minimal asyncio TCP query service speaking newline-delimited JSON.
 
 One request per line, one JSON object per response line.  Requests either
-carry an ``op`` (``"ping"``, ``"stats"``) or describe a PPR query::
+carry an ``op`` (``"ping"``, ``"stats"``, ``"traces"``) or describe a PPR
+query::
 
     {"id": 7, "seed": 42, "k": 100, "alpha": 0.85, "length": 6,
-     "timeout_ms": 250}
+     "timeout_ms": 250, "trace": "00-<32 hex>-<16 hex>-01"}
+
+``trace`` (optional) carries a W3C-style ``traceparent``: with a tracer
+configured (``--trace-sample``), a sampled-flagged value forces the query to
+record a span tree under the supplied trace id (see
+:mod:`repro.serving.tracing`), echoed back as ``trace_id`` on the response.
 
 ``id`` is echoed verbatim so clients can pipeline.  Query responses carry the
 top-k scores; rejections are explicit protocol answers, not dropped
@@ -40,6 +46,7 @@ from repro.serving.frontend.admission import (
 )
 from repro.serving.frontend.batcher import BatchPolicy, MicroBatcher
 from repro.serving.frontend.ops import apply_reload
+from repro.serving.frontend.request_log import log_request
 from repro.utils.validation import check_node_id
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -369,11 +376,26 @@ class AsyncQueryServer:
                     self._batcher, request.get("config", {})
                 )
                 return {"id": request_id, "ok": True, "op": "reload", **outcome}
+            if op == "traces":
+                tracer = self._batcher.engine.tracer
+                if tracer is None:
+                    raise ValueError(
+                        "tracing is disabled; start the server with "
+                        "--trace-sample > 0"
+                    )
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "op": "traces",
+                    "stats": tracer.stats().as_dict(),
+                    "traces": tracer.traces(),
+                }
             if op != "query":
                 raise ValueError(f"unknown op {op!r}")
             query, timeout_ms = parse_query_request(
                 request, self._batcher.engine.solver.graph.num_nodes
             )
+            traceparent = request.get("trace")
         except (ValueError, TypeError, KeyError) as exc:
             return {
                 "id": request_id,
@@ -382,11 +404,34 @@ class AsyncQueryServer:
                 "message": str(exc),
             }
 
+        tracer = self._batcher.engine.tracer
+        ctx = None
+        if tracer is not None:
+            ctx = tracer.start_trace(
+                "request",
+                traceparent=traceparent if isinstance(traceparent, str) else None,
+                transport="tcp",
+                seed=query.seed,
+            )
         if self._recorder is not None:
             self._recorder.record_query(query, timeout_ms=timeout_ms)
         try:
-            result = await self._batcher.submit(query, timeout_ms=timeout_ms)
+            result = await self._batcher.submit(
+                query, timeout_ms=timeout_ms, trace=ctx
+            )
         except QueryRejectedError as exc:
+            latency_ms = (loop.time() - received) * 1e3
+            if ctx is not None:
+                ctx.finish(status=exc.code, latency_ms=latency_ms)
+            log_request(
+                "tcp",
+                exc.code,
+                latency_ms=latency_ms,
+                request_id=request_id,
+                seed=query.seed,
+                k=query.k,
+                trace_id=None if ctx is None else ctx.trace_id,
+            )
             return {
                 "id": request_id,
                 "ok": False,
@@ -394,20 +439,50 @@ class AsyncQueryServer:
                 "message": str(exc),
             }
         except Exception as exc:  # engine failure: report, keep serving
+            latency_ms = (loop.time() - received) * 1e3
+            if ctx is not None:
+                ctx.finish(status="internal", latency_ms=latency_ms)
+            log_request(
+                "tcp",
+                "internal",
+                latency_ms=latency_ms,
+                request_id=request_id,
+                seed=query.seed,
+                k=query.k,
+                trace_id=None if ctx is None else ctx.trace_id,
+            )
             return {
                 "id": request_id,
                 "ok": False,
                 "error": "internal",
                 "message": f"{type(exc).__name__}: {exc}",
             }
-        return {
+        latency_ms = (loop.time() - received) * 1e3
+        serving_meta = result.metadata.get("serving", {})
+        if ctx is not None:
+            ctx.finish(status="ok", latency_ms=latency_ms)
+        log_request(
+            "tcp",
+            "ok",
+            latency_ms=latency_ms,
+            request_id=request_id,
+            seed=query.seed,
+            k=query.k,
+            trace_id=None if ctx is None else ctx.trace_id,
+            result_cache=serving_meta.get("result_cache"),
+            cache_enabled=serving_meta.get("cache_enabled"),
+        )
+        response = {
             "id": request_id,
             "ok": True,
             "seed": query.seed,
             "k": query.k,
             "top": [[int(node), float(score)] for node, score in result.top_k()],
-            "latency_ms": (loop.time() - received) * 1e3,
+            "latency_ms": latency_ms,
         }
+        if ctx is not None:
+            response["trace_id"] = ctx.trace_id
+        return response
 
 def build_parser() -> argparse.ArgumentParser:
     """The server CLI's argument parser."""
@@ -472,6 +547,54 @@ def build_parser() -> argparse.ArgumentParser:
             "(repro.serving.frontend.recorder)"
         ),
     )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.0,
+        help=(
+            "fraction of queries recording a full span tree (0 disables "
+            "tracing entirely; an inbound sampled-flagged traceparent always "
+            "traces); hot-reloadable via the 'trace_sample' reload key"
+        ),
+    )
+    parser.add_argument(
+        "--trace-ring",
+        type=int,
+        default=512,
+        help="finished traces kept in memory for /debug/traces (ring buffer)",
+    )
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=250.0,
+        help=(
+            "slow-query threshold: sampled traces at least this slow are "
+            "counted (and logged when --slow-log is set)"
+        ),
+    )
+    parser.add_argument(
+        "--slow-log",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append each over-threshold trace as one JSONL span tree to "
+            "this file (requires --trace-sample > 0 to sample anything)"
+        ),
+    )
+    parser.add_argument(
+        "--log-level",
+        default="warning",
+        choices=("critical", "error", "warning", "info", "debug"),
+        help=(
+            "request-log verbosity: info and below emit one line per "
+            "answered query (trace id, status, latency, cache outcome)"
+        ),
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit request-log lines as JSONL instead of key=value text",
+    )
     return parser
 
 
@@ -485,6 +608,7 @@ def build_frontend(args: argparse.Namespace):
     from repro.serving.cache import SubgraphCache
     from repro.serving.engine import QueryEngine
     from repro.serving.result_cache import ScoreTableCache
+    from repro.serving.tracing import Tracer
 
     graph = load_dataset(args.dataset)
     backend = make_backend(args.backend)
@@ -527,12 +651,25 @@ def build_frontend(args: argparse.Namespace):
         )
     else:
         result_cache = ScoreTableCache(ttl_seconds=result_cache_ttl)
+    # A tracer exists iff sampling can ever fire: a zero rate builds none,
+    # so the hot path stays a bare `tracer is None` check per request.
+    # (getattr defaults keep hand-built Namespaces — tests, studies — valid.)
+    trace_sample = getattr(args, "trace_sample", 0.0) or 0.0
+    tracer = None
+    if trace_sample > 0.0:
+        tracer = Tracer(
+            sample_rate=trace_sample,
+            ring_size=getattr(args, "trace_ring", 512),
+            slow_threshold_ms=getattr(args, "slow_ms", 250.0),
+            slow_log_path=getattr(args, "slow_log", None),
+        )
     engine = QueryEngine(
         MeLoPPRSolver(graph),
         backend=backend,
         cache=cache,
         result_cache=result_cache,
         kernel=args.kernel,
+        tracer=tracer,
     )
     policy = BatchPolicy(
         max_batch_size=args.max_batch,
@@ -567,8 +704,10 @@ def install_drain_signal_handler(server) -> None:
 def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - blocks serving
     """Command-line entry point: serve a dataset until drained/interrupted."""
     from repro.serving.frontend.recorder import WorkloadRecorder
+    from repro.serving.frontend.request_log import configure_logging
 
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level, json_mode=args.log_json)
     engine, policy, admission = build_frontend(args)
     recorder = WorkloadRecorder() if args.record else None
 

@@ -302,6 +302,20 @@ class ShardRouter:
         return self._result_caches[int(self._partition.assignments[seed])]
 
     # ------------------------------------------------------------------
+    def route_info(self, center: int, depth: int) -> Tuple[int, bool]:
+        """Routing decision for one extraction: ``(shard_id, halo_fallback)``.
+
+        A pure lookup with no counter side effects — the tracing layer calls
+        this to annotate extraction spans with the owning shard and whether
+        the depth exceeds the halo (forcing the host-graph fallback path),
+        without double-counting the router's serving stats.
+        """
+        center = check_node_id(center, self._partition.host.num_nodes, "center")
+        return (
+            int(self._partition.assignments[center]),
+            not self._partition.covers_depth(depth),
+        )
+
     def extract(
         self, graph: CSRGraph, center: int, depth: int
     ) -> Tuple[Subgraph, BFSResult, bool]:

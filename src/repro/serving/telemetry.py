@@ -68,7 +68,12 @@ class LatencySnapshot:
     p99_seconds: float
 
     def as_dict(self) -> Dict[str, float]:
-        """Plain-dict form for JSON reports."""
+        """Plain-dict form for JSON reports.
+
+        Key order is part of the contract — ``count``, the exact moments
+        (mean/min/max), then the percentiles ascending — so serialized
+        reports and JSONL logs diff cleanly across runs.
+        """
         return {
             "count": self.count,
             "mean_seconds": self.mean_seconds,
@@ -114,7 +119,13 @@ class LatencyHistogram:
             self._max = max(self._max, seconds)
 
     def percentile(self, quantile: float) -> float:
-        """Latency at ``quantile`` in [0, 1] (0.0 before any sample)."""
+        """Latency at ``quantile`` in [0, 1].
+
+        An empty histogram returns exactly ``0.0`` for every quantile —
+        never ``NaN``, ``inf`` or an exception — so reporting paths can
+        render a fresh (or just-reset) histogram without special-casing.
+        Out-of-range quantiles raise ``ValueError`` regardless of count.
+        """
         if not 0.0 <= quantile <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {quantile}")
         with self._lock:

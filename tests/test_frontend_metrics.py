@@ -212,6 +212,35 @@ class TestRenderer:
         ratio = scrape.value("repro_shard_fallback_ratio")
         assert 0.0 <= ratio <= 1.0
 
+    def test_tracing_families(self, small_ba_graph, config):
+        from repro.serving import Tracer
+
+        tracer = Tracer(sample_rate=1.0)
+        engine = QueryEngine(MeLoPPRSolver(small_ba_graph, config), tracer=tracer)
+        with engine:
+            for _ in range(2):
+                ctx = tracer.start_trace("request")
+                engine.solve_batch([PPRQuery(seed=3, k=10)], [ctx])
+                ctx.finish()
+            stats = batcher_stats(engine, seeds=(3,))
+        scrape = parse_prometheus_text(render_prometheus(stats))
+        assert scrape.value("repro_traces_started_total") >= 2
+        assert scrape.value("repro_traces_finished_total") >= 2
+        assert scrape.value("repro_trace_spans_total") > 0
+        assert scrape.value("repro_traces_dropped_total") == 0
+        assert scrape.value("repro_slow_traces_total") == 0
+        assert scrape.value("repro_trace_sample_rate") == 1.0
+        assert scrape.types["repro_trace_sample_rate"] == "gauge"
+        assert scrape.types["repro_traces_sampled_total"] == "counter"
+
+    def test_no_tracer_no_tracing_families(self, small_ba_graph, config):
+        engine = QueryEngine(MeLoPPRSolver(small_ba_graph, config))
+        with engine:
+            stats = batcher_stats(engine)
+        scrape = parse_prometheus_text(render_prometheus(stats))
+        assert "repro_traces_started_total" not in scrape
+        assert "repro_trace_sample_rate" not in scrape
+
 
 class TestParserAcceptance:
     def test_minimal_exposition(self):

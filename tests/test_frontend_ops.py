@@ -16,7 +16,7 @@ import pytest
 from repro.meloppr.config import MeLoPPRConfig
 from repro.meloppr.solver import MeLoPPRSolver
 from repro.ppr.base import PPRQuery
-from repro.serving import QueryEngine, SubgraphCache
+from repro.serving import QueryEngine, SubgraphCache, Tracer
 from repro.serving.frontend import (
     AdmissionController,
     BatchPolicy,
@@ -47,6 +47,7 @@ class TestApplyReload:
         batcher = make_batcher(
             small_ba_graph, config,
             cache=SubgraphCache(), result_cache=ScoreTableCache(),
+            tracer=Tracer(sample_rate=0.5),
         )
         with batcher.engine:
             outcome = apply_reload(
@@ -58,6 +59,7 @@ class TestApplyReload:
                     "dedup": False,
                     "cache_bytes": 5_000_000,
                     "result_cache_bytes": 2_000_000,
+                    "trace_sample": 0.25,
                 },
             )
             assert sorted(outcome["applied"]) == sorted(RELOADABLE_KEYS)
@@ -67,8 +69,10 @@ class TestApplyReload:
             assert batcher.policy.dedup is False
             assert batcher.engine.cache.max_bytes == 5_000_000
             assert batcher.engine.result_cache.max_bytes == 2_000_000
+            assert batcher.engine.tracer.sample_rate == 0.25
             assert outcome["config"] == frontend_config(batcher)
             assert outcome["config"]["cache_bytes"] == 5_000_000
+            assert outcome["config"]["trace_sample"] == 0.25
 
     def test_empty_reload_is_a_no_op(self, small_ba_graph, config):
         batcher = make_batcher(small_ba_graph, config)
@@ -103,6 +107,10 @@ class TestApplyReload:
             ({"dedup": 1}, "dedup"),
             ({"cache_bytes": 0}, "cache_bytes"),
             ({"result_cache_bytes": -1}, "result_cache_bytes"),
+            ({"trace_sample": -0.1}, "trace_sample"),
+            ({"trace_sample": 1.5}, "trace_sample"),
+            ({"trace_sample": "often"}, "trace_sample"),
+            ({"trace_sample": True}, "trace_sample"),
         ],
     )
     def test_invalid_values_rejected(
@@ -111,6 +119,7 @@ class TestApplyReload:
         batcher = make_batcher(
             small_ba_graph, config,
             cache=SubgraphCache(), result_cache=ScoreTableCache(),
+            tracer=Tracer(sample_rate=0.5),
         )
         with batcher.engine:
             with pytest.raises(ValueError, match=fragment):
@@ -134,6 +143,14 @@ class TestApplyReload:
                 apply_reload(batcher, {"cache_bytes": 1 << 20})
             with pytest.raises(ValueError, match="no stage-one result"):
                 apply_reload(batcher, {"result_cache_bytes": 1 << 20})
+
+    def test_trace_sample_without_tracer_is_an_error(
+        self, small_ba_graph, config
+    ):
+        batcher = make_batcher(small_ba_graph, config)  # no tracer
+        with batcher.engine:
+            with pytest.raises(ValueError, match="no tracer"):
+                apply_reload(batcher, {"trace_sample": 0.5})
 
     def test_shrink_evicts_and_reports_counts(self, small_ba_graph, config):
         batcher = make_batcher(
