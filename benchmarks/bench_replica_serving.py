@@ -1,0 +1,132 @@
+"""Benchmark — replicated serving (throughput scaling vs fleet size).
+
+Drives real fleets — ``N`` server subprocesses behind the consistent-hash
+:class:`~repro.serving.frontend.router.ReplicaRouter` — with a fixed-
+concurrency repeated-seed workload through real sockets, and emits the
+measurements as JSON in the same shape as the other serving benchmarks — a
+top-level config plus a ``runs`` list whose entries carry a ``label`` and a
+``throughput_qps``, so ``benchmarks/check_regression.py`` gates it like the
+rest.
+
+The in-bench assertions encode the replication contract: every answer
+bit-identical to the serial engine (enforced inside the study — a diverging
+answer raises before any number is reported), zero failovers or retries on
+a healthy fleet, and a ring that does not starve any replica.
+
+Run under pytest (``pytest benchmarks/bench_replica_serving.py``) or
+standalone::
+
+    PYTHONPATH=src python benchmarks/bench_replica_serving.py [--json out.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional
+
+import pytest
+
+from repro.experiments.replica_study import (
+    ReplicaStudy,
+    format_replica,
+    run_replica_study,
+)
+
+#: No replica may answer more than this share of a healthy fleet's queries
+#: (a starving ring would make "add a replica" a no-op).  The bound is loose
+#: because small CI workloads quantise coarsely over few hot seeds.
+MAX_REPLICA_SHARE = 0.85
+
+
+def run_benchmark(
+    num_seeds: int = 4,
+    repeat_factor: int = 4,
+    replica_counts=(1, 2, 3),
+) -> ReplicaStudy:
+    """The measured sweep: replica fleets on the citeseer stand-in, k = 100."""
+    return run_replica_study(
+        dataset="G1",
+        num_seeds=num_seeds,
+        repeat_factor=repeat_factor,
+        replica_counts=tuple(replica_counts),
+    )
+
+
+def study_json(study: ReplicaStudy) -> str:
+    """The study as a JSON document (throughput, shares, retry counters)."""
+    return json.dumps(study.as_dict(), indent=2, sort_keys=True)
+
+
+@pytest.mark.benchmark(group="serving")
+def test_replica_fleet_scales_and_stays_honest(benchmark, num_seeds):
+    """A healthy fleet must spread load without retries or failovers."""
+    study = benchmark.pedantic(
+        run_benchmark,
+        kwargs={"num_seeds": max(num_seeds, 4), "repeat_factor": 4},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_replica(study))
+    document = study_json(study)
+    print(document)
+
+    payload = json.loads(document)
+    assert payload["runs"], "sweep produced no runs"
+    for run in payload["runs"]:
+        assert run["throughput_qps"] > 0
+        assert sum(run["per_replica_answers"]) == run["num_queries"]
+        # Healthy fleet: the router never needed its failover machinery.
+        assert run["retries"] == 0, f"unexpected retries in {run['label']}"
+        assert run["failovers"] == 0, f"unexpected failovers in {run['label']}"
+
+    multi = [run for run in payload["runs"] if run["replicas"] > 1]
+    assert multi, "sweep must include a multi-replica fleet"
+    for run in multi:
+        assert all(count > 0 for count in run["per_replica_answers"]), (
+            f"{run['label']}: consistent-hash ring starved a replica "
+            f"({run['per_replica_answers']})"
+        )
+        assert run["max_replica_share"] <= MAX_REPLICA_SHARE, (
+            f"{run['label']}: one replica answered "
+            f"{run['max_replica_share']:.0%} of the workload"
+        )
+    # Bit-identical answers are enforced inside run_replica_study (any
+    # divergence from the serial reference raises); reaching here means the
+    # whole sweep's answers matched.
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point printing the table and JSON."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--num-seeds", type=int, default=4, help="hot-seed pool size")
+    parser.add_argument(
+        "--repeat-factor", type=int, default=4, help="queries per hot seed"
+    )
+    parser.add_argument(
+        "--replica-counts",
+        type=int,
+        nargs="+",
+        default=[1, 2, 3],
+        help="fleet sizes to sweep",
+    )
+    parser.add_argument("--json", default=None, help="also write the JSON report here")
+    args = parser.parse_args(argv)
+
+    study = run_benchmark(
+        num_seeds=args.num_seeds,
+        repeat_factor=args.repeat_factor,
+        replica_counts=tuple(args.replica_counts),
+    )
+    print(format_replica(study))
+    document = study_json(study)
+    print(document)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(document + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI only
+    raise SystemExit(main())

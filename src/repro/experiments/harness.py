@@ -22,6 +22,7 @@ from repro.experiments.kernel_study import format_kernels, run_kernel_study
 from repro.experiments.latency_study import format_latency, run_latency_study
 from repro.experiments.process_study import format_process, run_process_study
 from repro.experiments.quantization_study import format_quantization, run_quantization_study
+from repro.experiments.replica_study import format_replica, run_replica_study
 from repro.experiments.result_cache_study import format_result_cache, run_result_cache_study
 from repro.experiments.score_table_study import format_score_table, run_score_table_study
 from repro.experiments.serving_study import format_serving, run_serving_study
@@ -145,6 +146,13 @@ def run_all(profile: ExperimentProfile = QUICK_PROFILE) -> Dict[str, str]:
             multipliers=(0.5, 1.0, 10.0)
             if profile.name == "quick"
             else (0.5, 1.0, 2.0, 10.0),
+        )
+    )
+    reports["E16_replicas"] = format_replica(
+        run_replica_study(
+            num_seeds=profile.num_seeds_small,
+            repeat_factor=3,
+            replica_counts=(1, 2) if profile.name == "quick" else (1, 2, 3),
         )
     )
     return reports

@@ -47,6 +47,7 @@ __all__ = [
     "GraphShard",
     "GraphPartition",
     "hash_partition",
+    "hash_shard_of",
     "range_partition",
     "degree_balanced_partition",
     "partition_graph",
@@ -70,6 +71,19 @@ def hash_partition(graph: CSRGraph, num_shards: int) -> np.ndarray:
     """
     nodes = np.arange(graph.num_nodes, dtype=np.int64)
     return ((nodes * _HASH_MULTIPLIER) >> 16) % num_shards
+
+
+def hash_shard_of(node: int, num_shards: int) -> int:
+    """Scalar form of :func:`hash_partition`'s assignment.
+
+    The replica router uses this to map a query seed to its owning shard
+    *without* loading the graph; it must therefore stay bit-for-bit the same
+    function as the vectorised assignment above, or the router would send
+    seeds to replicas that are not their shard's primary.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be > 0, got {num_shards}")
+    return int(((int(node) * _HASH_MULTIPLIER) >> 16) % num_shards)
 
 
 def range_partition(graph: CSRGraph, num_shards: int) -> np.ndarray:

@@ -13,12 +13,26 @@ into the well-formed batches that engine is optimised for:
   queries, and enforces per-query deadlines.
 * :class:`AdmissionController` — a bounded in-flight queue with explicit
   shedding (:class:`QueryShedError`) and p50/p95/p99 latency telemetry.
-* :class:`AsyncQueryServer` / :class:`AsyncClient` — a minimal TCP service
-  speaking newline-delimited JSON, with protocol-level shed/deadline answers.
+* :class:`QueryClient` — the unified client API: one abstract surface
+  (``query``/``query_batch``/``ping``/``stats``/``drain``/``traces``,
+  typed errors, retry-with-backoff) with :class:`TcpQueryClient` and
+  :class:`HttpQueryClient` implementations behind :func:`connect_client`.
+  ``AsyncClient`` remains as an alias of the TCP client for one release.
+* :class:`AsyncQueryServer` — a minimal TCP service speaking
+  newline-delimited JSON, with protocol-level shed/deadline answers.
 * :class:`HttpQueryServer` / :class:`HttpClient` / :class:`HttpClientPool` —
   the production front door: the same batcher served over HTTP/1.1 + JSON,
   with a Prometheus ``/metrics`` endpoint
   (:func:`render_prometheus` / :func:`parse_prometheus_text`).
+* :class:`ReplicaRouter` — the multi-replica front door: consistent-hash
+  seed routing over a fleet (see :mod:`repro.serving.replica`), bounded
+  retry-with-failover, rolling drain, and aggregated
+  ``/stats``/``/metrics``/``/debug/traces``.
+* :class:`ServingConfig` / :func:`build_frontend` — the one CLI/config
+  surface both server transports (and the replica supervisor) build from.
+* ``PROTOCOL_VERSION`` — every response (TCP line or HTTP envelope)
+  carries a ``proto`` field so mixed-version fleets fail loudly
+  (:class:`ProtocolMismatchError`).
 * :func:`apply_reload` — hot config reload (admission bound, batch policy,
   cache budgets) shared by both transports; both servers also implement
   graceful drain (``drain()``: stop accepting, finish every in-flight
@@ -40,8 +54,28 @@ from repro.serving.frontend.admission import (
 )
 from repro.serving.frontend.async_backend import AsyncBackend
 from repro.serving.frontend.batcher import BatcherStats, BatchPolicy, MicroBatcher
-from repro.serving.frontend.client import AsyncClient, ServerError
-from repro.serving.frontend.http import HttpClient, HttpClientPool, HttpQueryServer
+from repro.serving.frontend.client import (
+    AsyncClient,
+    ClientConnectionError,
+    HttpQueryClient,
+    QueryClient,
+    ServerError,
+    TcpQueryClient,
+    connect_client,
+    raise_for_response,
+)
+from repro.serving.frontend.config import (
+    ServingConfig,
+    add_serving_arguments,
+    build_frontend,
+    build_serving_parser,
+)
+from repro.serving.frontend.http import (
+    BaseHttpServer,
+    HttpClient,
+    HttpClientPool,
+    HttpQueryServer,
+)
 from repro.serving.frontend.metrics import (
     PrometheusScrape,
     parse_prometheus_text,
@@ -61,7 +95,14 @@ from repro.serving.frontend.recorder import (
     replay_trace_sync,
     save_trace,
 )
-from repro.serving.frontend.server import AsyncQueryServer
+from repro.serving.frontend.protocol import (
+    CAPABILITIES,
+    PROTOCOL_VERSION,
+    ProtocolMismatchError,
+    check_protocol_version,
+)
+from repro.serving.frontend.router import ReplicaRouter
+from repro.serving.frontend.server import AsyncQueryServer, write_ready_file
 
 __all__ = [
     "AdmissionController",
@@ -69,29 +110,46 @@ __all__ = [
     "AsyncBackend",
     "AsyncClient",
     "AsyncQueryServer",
+    "BaseHttpServer",
     "BatchPolicy",
     "BatcherStats",
+    "CAPABILITIES",
+    "ClientConnectionError",
     "DeadlineExceededError",
     "HttpClient",
     "HttpClientPool",
+    "HttpQueryClient",
     "HttpQueryServer",
     "MicroBatcher",
+    "PROTOCOL_VERSION",
     "PrometheusScrape",
+    "ProtocolMismatchError",
+    "QueryClient",
     "QueryRejectedError",
     "QueryShedError",
     "RELOADABLE_KEYS",
     "REQUEST_LOGGER_NAME",
+    "ReplicaRouter",
     "ServerError",
+    "ServingConfig",
+    "TcpQueryClient",
     "TraceRecord",
     "WorkloadRecorder",
+    "add_serving_arguments",
     "apply_reload",
+    "build_frontend",
+    "build_serving_parser",
+    "check_protocol_version",
     "configure_logging",
+    "connect_client",
     "frontend_config",
     "load_trace",
     "log_request",
     "parse_prometheus_text",
+    "raise_for_response",
     "render_prometheus",
     "replay_trace",
     "replay_trace_sync",
     "save_trace",
+    "write_ready_file",
 ]

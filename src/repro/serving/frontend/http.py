@@ -69,13 +69,20 @@ from repro.serving.frontend.admission import QueryRejectedError
 from repro.serving.frontend.batcher import MicroBatcher
 from repro.serving.frontend.metrics import render_prometheus
 from repro.serving.frontend.ops import apply_reload
+from repro.serving.frontend.protocol import PROTOCOL_VERSION
 from repro.serving.frontend.request_log import log_request
 from repro.serving.frontend.server import parse_query_request
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.serving.frontend.recorder import WorkloadRecorder
 
-__all__ = ["HttpQueryServer", "HttpClient", "HttpClientPool", "main"]
+__all__ = [
+    "BaseHttpServer",
+    "HttpQueryServer",
+    "HttpClient",
+    "HttpClientPool",
+    "main",
+]
 
 #: Largest request body the server will read (1 MiB is generous: a query
 #: is ~100 bytes, a reload config ~200).
@@ -110,68 +117,55 @@ class _BadRequestLine(Exception):
     """The request line or headers were not parseable HTTP."""
 
 
-class HttpQueryServer:
-    """Serve a :class:`MicroBatcher` over HTTP/1.1 with JSON bodies.
+class BaseHttpServer:
+    """The transport shell shared by every HTTP front door.
 
-    Parameters
-    ----------
-    batcher:
-        The started (or about-to-be-started) micro-batcher answering
-        queries — share one instance with an
-        :class:`~repro.serving.frontend.server.AsyncQueryServer` to serve
-        both transports from the same batches.
-    host, port:
-        Bind address; port 0 picks a free port (read it from
-        :meth:`start`'s return value).
-    max_body_bytes:
-        Bound on request bodies; larger ones are refused with 413 before
-        being read.
-    recorder:
-        Optional workload recorder; every accepted ``/query`` is captured
-        with its arrival offset.
-    info:
-        Static labels for the ``repro_server_info`` metric (backend,
-        kernel, dataset...).  Defaults to the live backend name and batch
-        policy.
+    Owns everything about *being an HTTP/1.1 server* — the listener
+    lifecycle, per-connection request loop, request-line/header parsing,
+    ``Content-Length`` framing with the body-size cap, keep-alive handling,
+    response serialisation (every response carries an ``X-Repro-Proto``
+    header) and the graceful-drain contract — and nothing about what the
+    endpoints *mean*.  Subclasses implement :meth:`_route`:
+    :class:`HttpQueryServer` answers from a micro-batcher, the replica
+    router (:mod:`repro.serving.frontend.router`) forwards to a fleet.
     """
 
     def __init__(
         self,
-        batcher: MicroBatcher,
         host: str = "127.0.0.1",
         port: int = 0,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
-        recorder: Optional["WorkloadRecorder"] = None,
-        info: Optional[Mapping[str, str]] = None,
     ) -> None:
         if max_body_bytes <= 0:
             raise ValueError(
                 f"max_body_bytes must be > 0, got {max_body_bytes}"
             )
-        self._batcher = batcher
         self._host = host
         self._port = port
         self._max_body_bytes = max_body_bytes
-        self._recorder = recorder
-        self._info = dict(info) if info is not None else None
         self._server: Optional[asyncio.AbstractServer] = None
         self._drain_event: Optional[asyncio.Event] = None
         self._conn_tasks: Set["asyncio.Task[None]"] = set()
 
-    @property
-    def batcher(self) -> MicroBatcher:
-        """The micro-batcher answering this server's queries."""
-        return self._batcher
+    async def _route(
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        received: float,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, object, str]:
+        """Dispatch one request; returns ``(status, payload, content_type)``.
+
+        ``payload`` is a dict/list (JSON-encoded on the way out) or a
+        pre-rendered string.
+        """
+        raise NotImplementedError
 
     @property
     def draining(self) -> bool:
         """Whether :meth:`drain` has begun (no new work is accepted)."""
         return self._drain_event is not None and self._drain_event.is_set()
-
-    @property
-    def recorder(self) -> Optional["WorkloadRecorder"]:
-        """The workload recorder capturing query requests (``None`` = off)."""
-        return self._recorder
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -204,11 +198,12 @@ class HttpQueryServer:
     async def drain(self) -> None:
         """Gracefully wind the server down: stop accepting, finish in-flight.
 
-        Same contract as the TCP server's drain — **no admitted query is
+        Same contract as the TCP server's drain — **no admitted request is
         ever dropped**: the listener closes, every connection finishes the
         request it is handling (and flushes the response), idle keep-alive
-        connections close, and :meth:`drain` returns.  The batcher is *not*
-        stopped (the caller owns it and may be draining several transports).
+        connections close, and :meth:`drain` returns.  Whatever answers the
+        requests (a batcher, a replica fleet) is *not* stopped here — the
+        caller owns it and may be draining several transports.
         """
         if self._drain_event is None:
             return  # never started: nothing in flight by construction
@@ -224,7 +219,7 @@ class HttpQueryServer:
         assert self._server is not None
         await self._server.serve_forever()
 
-    async def __aenter__(self) -> "HttpQueryServer":
+    async def __aenter__(self) -> "BaseHttpServer":
         await self.start()
         return self
 
@@ -408,6 +403,122 @@ class HttpQueryServer:
         raise _BadRequestLine(f"more than {max_headers} header lines")
 
     # ------------------------------------------------------------------
+    def _parse_json_body(self, body: bytes) -> dict:
+        if not body:
+            raise ValueError("request body must be a JSON object, got nothing")
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"request body must be a JSON object, "
+                f"got {type(payload).__name__}"
+            )
+        return payload
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: object,
+        content_type: str = "application/json",
+        close: bool = False,
+    ) -> bool:
+        """Serialise and send one response; returns False if the client
+        went away (nothing to deliver the answer to)."""
+        if isinstance(payload, dict) and "ok" in payload:
+            # Every ok-envelope answer carries the protocol version so
+            # clients can detect mixed-version fleets (document payloads
+            # like /stats or perfetto keep their exact shapes).
+            payload.setdefault("proto", PROTOCOL_VERSION)
+        if isinstance(payload, (dict, list)):
+            body = json.dumps(payload).encode("utf-8")
+        elif isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:  # pragma: no cover - handlers only return dict/str
+            body = bytes(payload)
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"X-Repro-Proto: {PROTOCOL_VERSION}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            "\r\n"
+        ).encode("ascii")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return False
+        return True
+
+    async def _respond_error(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        message: str,
+        close: bool = False,
+    ) -> bool:
+        return await self._respond(
+            writer,
+            status,
+            {"ok": False, "error": "bad_request" if status == 400 else "error",
+             "message": message},
+            close=close,
+        )
+
+
+class HttpQueryServer(BaseHttpServer):
+    """Serve a :class:`MicroBatcher` over HTTP/1.1 with JSON bodies.
+
+    Parameters
+    ----------
+    batcher:
+        The started (or about-to-be-started) micro-batcher answering
+        queries — share one instance with an
+        :class:`~repro.serving.frontend.server.AsyncQueryServer` to serve
+        both transports from the same batches.
+    host, port:
+        Bind address; port 0 picks a free port (read it from
+        :meth:`start`'s return value).
+    max_body_bytes:
+        Bound on request bodies; larger ones are refused with 413 before
+        being read.
+    recorder:
+        Optional workload recorder; every accepted ``/query`` is captured
+        with its arrival offset.
+    info:
+        Static labels for the ``repro_server_info`` metric (backend,
+        kernel, dataset...).  Defaults to the live backend name and batch
+        policy; a ``proto`` label always rides along.
+    """
+
+    def __init__(
+        self,
+        batcher: MicroBatcher,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        recorder: Optional["WorkloadRecorder"] = None,
+        info: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        super().__init__(host=host, port=port, max_body_bytes=max_body_bytes)
+        self._batcher = batcher
+        self._recorder = recorder
+        self._info = dict(info) if info is not None else None
+
+    @property
+    def batcher(self) -> MicroBatcher:
+        """The micro-batcher answering this server's queries."""
+        return self._batcher
+
+    @property
+    def recorder(self) -> Optional["WorkloadRecorder"]:
+        """The workload recorder capturing query requests (``None`` = off)."""
+        return self._recorder
+
+    # ------------------------------------------------------------------
     async def _route(
         self,
         method: str,
@@ -517,26 +628,18 @@ class HttpQueryServer:
         return status, response, json_type
 
     def _metrics_info(self) -> Dict[str, str]:
-        if self._info is not None:
-            return self._info
-        return {
-            "backend": self._batcher.engine.backend.name,
-            "policy": self._batcher.policy.label,
-        }
-
-    def _parse_json_body(self, body: bytes) -> dict:
-        if not body:
-            raise ValueError("request body must be a JSON object, got nothing")
-        try:
-            payload = json.loads(body)
-        except json.JSONDecodeError as exc:
-            raise ValueError(f"body is not valid JSON: {exc}") from exc
-        if not isinstance(payload, dict):
-            raise ValueError(
-                f"request body must be a JSON object, "
-                f"got {type(payload).__name__}"
-            )
-        return payload
+        info = (
+            dict(self._info)
+            if self._info is not None
+            else {
+                "backend": self._batcher.engine.backend.name,
+                "policy": self._batcher.policy.label,
+            }
+        )
+        # The proto label always rides along so a scrape of a mixed-version
+        # fleet shows the skew (the replica router aggregates these).
+        info.setdefault("proto", str(PROTOCOL_VERSION))
+        return info
 
     async def _answer_query(
         self, body: bytes, received: float, headers: Dict[str, str]
@@ -638,52 +741,6 @@ class HttpQueryServer:
             response["trace_id"] = ctx.trace_id
         return response
 
-    # ------------------------------------------------------------------
-    async def _respond(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        payload: object,
-        content_type: str = "application/json",
-        close: bool = False,
-    ) -> bool:
-        """Serialise and send one response; returns False if the client
-        went away (nothing to deliver the answer to)."""
-        if isinstance(payload, (dict, list)):
-            body = json.dumps(payload).encode("utf-8")
-        elif isinstance(payload, str):
-            body = payload.encode("utf-8")
-        else:  # pragma: no cover - handlers only return dict/str
-            body = bytes(payload)
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'close' if close else 'keep-alive'}\r\n"
-            "\r\n"
-        ).encode("ascii")
-        try:
-            writer.write(head + body)
-            await writer.drain()
-        except (ConnectionError, OSError):
-            return False
-        return True
-
-    async def _respond_error(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        message: str,
-        close: bool = False,
-    ) -> bool:
-        return await self._respond(
-            writer,
-            status,
-            {"ok": False, "error": "bad_request" if status == 400 else "error",
-             "message": message},
-            close=close,
-        )
-
 
 # ----------------------------------------------------------------------
 # Client
@@ -759,10 +816,14 @@ class HttpClient:
         return await self._read_response()
 
     async def request_json(
-        self, method: str, path: str, body: Optional[object] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[object] = None,
+        headers: Optional[Mapping[str, str]] = None,
     ) -> Tuple[int, dict]:
         """:meth:`request`, with the response body parsed as JSON."""
-        status, _, raw = await self.request(method, path, body)
+        status, _, raw = await self.request(method, path, body, headers=headers)
         return status, json.loads(raw)
 
     async def query(self, request: dict) -> Tuple[int, dict]:
@@ -781,7 +842,14 @@ class HttpClient:
         headers: Dict[str, str] = {}
         while True:
             line = await self._reader.readline()
-            if line in (b"\r\n", b"\n", b""):
+            if line == b"":
+                # EOF inside the header block is a torn response, not an
+                # answer with no headers — surface it as the connection
+                # failure it is (json.loads on b"" would mask it).
+                raise ConnectionError(
+                    "server closed the connection mid-headers"
+                )
+            if line in (b"\r\n", b"\n"):
                 break
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
@@ -831,20 +899,45 @@ class HttpClientPool:
         await self.close()
 
     async def request_json(
-        self, method: str, path: str, body: Optional[object] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[object] = None,
+        headers: Optional[Mapping[str, str]] = None,
     ) -> Tuple[int, dict]:
         """One JSON request on the next free connection (reconnecting a
         broken one once)."""
         client = await self._free.get()
         try:
             try:
-                return await client.request_json(method, path, body)
+                return await client.request_json(method, path, body, headers)
             except (ConnectionError, asyncio.IncompleteReadError, OSError):
                 # The connection died (e.g. an earlier Connection: close);
                 # replace it and retry once.
                 await client.close()
                 await client.connect()
-                return await client.request_json(method, path, body)
+                return await client.request_json(method, path, body, headers)
+        finally:
+            self._free.put_nowait(client)
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[object] = None,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One raw request on the next free connection (same reconnect
+        semantics as :meth:`request_json`); for non-JSON endpoints like
+        ``/metrics``."""
+        client = await self._free.get()
+        try:
+            try:
+                return await client.request(method, path, body, headers)
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                await client.close()
+                await client.connect()
+                return await client.request(method, path, body, headers)
         finally:
             self._free.put_nowait(client)
 
@@ -864,12 +957,13 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - blocks 
     from repro.serving.frontend.request_log import configure_logging
     from repro.serving.frontend.server import (
         build_frontend,
-        build_parser,
         install_drain_signal_handler,
+        write_ready_file,
     )
+    from repro.serving.frontend.config import build_serving_parser
 
-    parser = build_parser()
-    parser.set_defaults(port=7080)  # keep clear of the TCP default (7071)
+    # Keep clear of the TCP default (7071).
+    parser = build_serving_parser(__doc__, default_port=7080)
     args = parser.parse_args(argv)
     configure_logging(args.log_level, json_mode=args.log_json)
     engine, policy, admission = build_frontend(args)
@@ -889,6 +983,15 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - blocks 
                 },
             )
             host, port = await server.start()
+            if getattr(args, "ready_file", None):
+                write_ready_file(
+                    args.ready_file,
+                    host,
+                    port,
+                    transport="http",
+                    dataset=args.dataset,
+                    num_shards=args.num_shards,
+                )
             install_drain_signal_handler(server)
             print(
                 f"serving {engine.solver.graph.name} on http://{host}:{port} "

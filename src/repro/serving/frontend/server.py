@@ -45,14 +45,25 @@ from repro.serving.frontend.admission import (
     QueryRejectedError,
 )
 from repro.serving.frontend.batcher import BatchPolicy, MicroBatcher
+from repro.serving.frontend.config import ServingConfig, build_serving_parser
+from repro.serving.frontend.config import build_frontend as _build_frontend
 from repro.serving.frontend.ops import apply_reload
+from repro.serving.frontend.protocol import (
+    CAPABILITIES,
+    PROTOCOL_VERSION,
+)
 from repro.serving.frontend.request_log import log_request
 from repro.utils.validation import check_node_id
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.serving.frontend.recorder import WorkloadRecorder
 
-__all__ = ["AsyncQueryServer", "parse_query_request", "main"]
+__all__ = [
+    "AsyncQueryServer",
+    "parse_query_request",
+    "write_ready_file",
+    "main",
+]
 
 
 def _require_int(value: object, name: str) -> int:
@@ -329,6 +340,9 @@ class AsyncQueryServer:
         write_lock: asyncio.Lock,
         response: dict,
     ) -> None:
+        # Every wire response advertises the protocol version, so a client
+        # from a different release fails loudly instead of mis-parsing.
+        response.setdefault("proto", PROTOCOL_VERSION)
         payload = json.dumps(response).encode("utf-8") + b"\n"
         async with write_lock:
             try:
@@ -485,199 +499,51 @@ class AsyncQueryServer:
         return response
 
 def build_parser() -> argparse.ArgumentParser:
-    """The server CLI's argument parser."""
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--dataset", default="G1", help="dataset key to serve")
-    parser.add_argument("--host", default="127.0.0.1")
-    parser.add_argument("--port", type=int, default=7071)
-    parser.add_argument(
-        "--backend",
-        default="async:4",
-        help="engine backend spec: serial, thread[:N], async[:N] or process[:N]",
-    )
-    parser.add_argument("--max-batch", type=int, default=8)
-    parser.add_argument("--max-wait-ms", type=float, default=2.0)
-    parser.add_argument(
-        "--no-dedup", action="store_true", help="disable in-flight dedup"
-    )
-    parser.add_argument(
-        "--max-pending", type=int, default=256, help="admission bound"
-    )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help=(
-            "disable caching: the sub-graph cache and (unless "
-            "--result-cache-bytes explicitly enables it) the cross-query "
-            "result cache"
-        ),
-    )
-    parser.add_argument(
-        "--result-cache-bytes",
-        type=int,
-        default=None,
-        help=(
-            "byte budget of the cross-query stage-one result cache "
-            "(hot seeds skip straight to stage two; 0 disables, the "
-            "default enables it at the library default budget)"
-        ),
-    )
-    parser.add_argument(
-        "--result-cache-ttl",
-        type=float,
-        default=None,
-        help="optional TTL (seconds) on cached stage-one tables (<= 0: none)",
-    )
-    parser.add_argument(
-        "--kernel",
-        default=None,
-        help=(
-            "diffusion kernel: reference, csr, frontier, numba or auto "
-            "(default: the REPRO_DIFFUSION_KERNEL environment variable, "
-            "else auto); every kernel returns bit-identical scores"
-        ),
-    )
-    parser.add_argument(
-        "--record",
-        default=None,
-        metavar="PATH",
-        help=(
-            "record every accepted query (with arrival offsets) to this "
-            "JSONL trace on shutdown, for replay as a repeatable benchmark "
-            "(repro.serving.frontend.recorder)"
-        ),
-    )
-    parser.add_argument(
-        "--trace-sample",
-        type=float,
-        default=0.0,
-        help=(
-            "fraction of queries recording a full span tree (0 disables "
-            "tracing entirely; an inbound sampled-flagged traceparent always "
-            "traces); hot-reloadable via the 'trace_sample' reload key"
-        ),
-    )
-    parser.add_argument(
-        "--trace-ring",
-        type=int,
-        default=512,
-        help="finished traces kept in memory for /debug/traces (ring buffer)",
-    )
-    parser.add_argument(
-        "--slow-ms",
-        type=float,
-        default=250.0,
-        help=(
-            "slow-query threshold: sampled traces at least this slow are "
-            "counted (and logged when --slow-log is set)"
-        ),
-    )
-    parser.add_argument(
-        "--slow-log",
-        default=None,
-        metavar="PATH",
-        help=(
-            "append each over-threshold trace as one JSONL span tree to "
-            "this file (requires --trace-sample > 0 to sample anything)"
-        ),
-    )
-    parser.add_argument(
-        "--log-level",
-        default="warning",
-        choices=("critical", "error", "warning", "info", "debug"),
-        help=(
-            "request-log verbosity: info and below emit one line per "
-            "answered query (trace id, status, latency, cache outcome)"
-        ),
-    )
-    parser.add_argument(
-        "--log-json",
-        action="store_true",
-        help="emit request-log lines as JSONL instead of key=value text",
-    )
-    return parser
+    """The server CLI's argument parser (the shared serving flag surface).
+
+    Both transports' CLIs — and :class:`~repro.serving.replica.ReplicaSet`,
+    which spawns them — share one flag set, installed by
+    :func:`repro.serving.frontend.config.add_serving_arguments`.
+    """
+    return build_serving_parser(__doc__, default_port=7071)
 
 
-def build_frontend(args: argparse.Namespace):
-    """Construct the (engine, policy, admission) triple the CLI serves."""
-    # Imported here, not at module top: the frontend package must stay
-    # importable without pulling the dataset/solver layers in.
-    from repro.graph.datasets import load_dataset
-    from repro.meloppr.solver import MeLoPPRSolver
-    from repro.serving.backends import ProcessPoolBackend, make_backend
-    from repro.serving.cache import SubgraphCache
-    from repro.serving.engine import QueryEngine
-    from repro.serving.result_cache import ScoreTableCache
-    from repro.serving.tracing import Tracer
+def build_frontend(args):
+    """Construct the (engine, policy, admission) triple the CLI serves.
 
-    graph = load_dataset(args.dataset)
-    backend = make_backend(args.backend)
-    if getattr(backend, "executes_stage_tasks", False):
-        # Stage-task workers cache extractions themselves; an engine-level
-        # cache would never be consulted (the engine rejects it).  --no-cache
-        # therefore maps to the worker-side cache switch here.
-        cache = None
-        if args.no_cache and isinstance(backend, ProcessPoolBackend):
-            # Rebuild with *every* constructor argument preserved: dropping
-            # mp_context or kernel here would silently serve with a different
-            # start method / diffusion kernel than the operator asked for.
-            backend = ProcessPoolBackend(
-                num_workers=backend.num_workers,
-                mp_context=backend.mp_context,
-                cache_bytes=None,
-                kernel=backend.kernel,
-            )
-    else:
-        cache = None if args.no_cache else SubgraphCache()
-    # The stage-one result cache is parent-side for every backend (workers
-    # only ever see the stage-two tasks of a cached query), so the flag maps
-    # uniformly; 0 switches it off, and --no-cache means *all* caching off
-    # (it is how operators measure the uncached path — a silently surviving
-    # result cache would invalidate that baseline by 2x+) unless an explicit
-    # --result-cache-bytes overrides it.
-    result_cache_bytes = getattr(args, "result_cache_bytes", None)
-    result_cache_ttl = getattr(args, "result_cache_ttl", None)
-    if result_cache_ttl is not None and result_cache_ttl <= 0:
-        # Same 0-disables convention as --result-cache-bytes: a non-positive
-        # TTL means "no TTL", not a startup crash.
-        result_cache_ttl = None
-    if result_cache_bytes is None and args.no_cache:
-        result_cache = None
-    elif result_cache_bytes is not None and result_cache_bytes <= 0:
-        result_cache = None
-    elif result_cache_bytes is not None:
-        result_cache = ScoreTableCache(
-            result_cache_bytes, ttl_seconds=result_cache_ttl
-        )
-    else:
-        result_cache = ScoreTableCache(ttl_seconds=result_cache_ttl)
-    # A tracer exists iff sampling can ever fire: a zero rate builds none,
-    # so the hot path stays a bare `tracer is None` check per request.
-    # (getattr defaults keep hand-built Namespaces — tests, studies — valid.)
-    trace_sample = getattr(args, "trace_sample", 0.0) or 0.0
-    tracer = None
-    if trace_sample > 0.0:
-        tracer = Tracer(
-            sample_rate=trace_sample,
-            ring_size=getattr(args, "trace_ring", 512),
-            slow_threshold_ms=getattr(args, "slow_ms", 250.0),
-            slow_log_path=getattr(args, "slow_log", None),
-        )
-    engine = QueryEngine(
-        MeLoPPRSolver(graph),
-        backend=backend,
-        cache=cache,
-        result_cache=result_cache,
-        kernel=args.kernel,
-        tracer=tracer,
-    )
-    policy = BatchPolicy(
-        max_batch_size=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        dedup=not args.no_dedup,
-    )
-    admission = AdmissionController(max_pending=args.max_pending)
-    return engine, policy, admission
+    Thin adapter kept for callers holding a parsed ``argparse.Namespace``
+    (tests, studies); the assembly itself lives in
+    :func:`repro.serving.frontend.config.build_frontend`, shared with the
+    HTTP CLI and the replica supervisor.  Accepts a :class:`ServingConfig`
+    directly too.
+    """
+    if not isinstance(args, ServingConfig):
+        args = ServingConfig.from_args(args)
+    return _build_frontend(args)
+
+
+def write_ready_file(path: str, host: str, port: int, **extra: object) -> None:
+    """Atomically publish a server's readiness record.
+
+    The record carries the bound address, pid, protocol version and
+    capabilities; the replica supervisor polls for it instead of parsing
+    the child's stdout.  Written to a temp name then ``os.replace``d so a
+    reader can never observe a half-written JSON document.
+    """
+    import os
+
+    record = {
+        "host": host,
+        "port": port,
+        "pid": os.getpid(),
+        "proto": PROTOCOL_VERSION,
+        "capabilities": list(CAPABILITIES),
+        **extra,
+    }
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle)
+    os.replace(tmp_path, path)
 
 
 def install_drain_signal_handler(server) -> None:
@@ -717,6 +583,15 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - blocks 
                 batcher, args.host, args.port, recorder=recorder
             )
             host, port = await server.start()
+            if getattr(args, "ready_file", None):
+                write_ready_file(
+                    args.ready_file,
+                    host,
+                    port,
+                    transport="tcp",
+                    dataset=args.dataset,
+                    num_shards=args.num_shards,
+                )
             install_drain_signal_handler(server)
             print(
                 f"serving {engine.solver.graph.name} on {host}:{port} "
