@@ -19,6 +19,7 @@ from repro.experiments.fig5_scalability import format_fig5, run_fig5
 from repro.experiments.fig6_sparsity import format_fig6, run_fig6
 from repro.experiments.fig7_tradeoff import format_fig7, run_fig7
 from repro.experiments.kernel_study import format_kernels, run_kernel_study
+from repro.experiments.churn_study import format_churn, run_churn_study
 from repro.experiments.latency_study import format_latency, run_latency_study
 from repro.experiments.process_study import format_process, run_process_study
 from repro.experiments.quantization_study import format_quantization, run_quantization_study
@@ -153,6 +154,16 @@ def run_all(profile: ExperimentProfile = QUICK_PROFILE) -> Dict[str, str]:
             num_seeds=profile.num_seeds_small,
             repeat_factor=3,
             replica_counts=(1, 2) if profile.name == "quick" else (1, 2, 3),
+        )
+    )
+    reports["E17_churn"] = format_churn(
+        run_churn_study(
+            num_queries=8 * profile.num_seeds_small,
+            num_seeds=profile.num_seeds_small,
+            update_rates=(0, 6) if profile.name == "quick" else (0, 2, 6, 12),
+            cache_budgets=(256 * 1024,)
+            if profile.name == "quick"
+            else (256 * 1024, 4 * 1024 * 1024),
         )
     )
     return reports

@@ -27,6 +27,13 @@ from repro.graph.generators import (
     stochastic_block_model,
     watts_strogatz_graph,
 )
+from repro.graph.delta import (
+    DEFAULT_REGION_SIZE,
+    DeltaGraph,
+    min_hop_distances,
+    normalize_edge_ops,
+    update_distance_bound,
+)
 from repro.graph.io import read_edge_list, read_snap_graph, write_edge_list
 from repro.graph.partition import (
     DEFAULT_HALO_DEPTH,
@@ -36,6 +43,7 @@ from repro.graph.partition import (
     degree_balanced_partition,
     hash_partition,
     partition_graph,
+    patch_partition,
     range_partition,
 )
 from repro.graph.stats import GraphStats, compute_stats, degree_histogram
@@ -63,6 +71,11 @@ __all__ = [
     "powerlaw_cluster_graph",
     "stochastic_block_model",
     "watts_strogatz_graph",
+    "DEFAULT_REGION_SIZE",
+    "DeltaGraph",
+    "min_hop_distances",
+    "normalize_edge_ops",
+    "update_distance_bound",
     "read_edge_list",
     "read_snap_graph",
     "write_edge_list",
@@ -73,6 +86,7 @@ __all__ = [
     "degree_balanced_partition",
     "hash_partition",
     "partition_graph",
+    "patch_partition",
     "range_partition",
     "GraphStats",
     "compute_stats",

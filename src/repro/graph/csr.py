@@ -296,5 +296,9 @@ class CSRGraph:
             and np.array_equal(self._indices, other._indices)
         )
 
-    def __hash__(self) -> int:  # pragma: no cover - identity hash is sufficient
-        return id(self)
+    def __hash__(self) -> int:
+        # Must agree with the structural __eq__ above: two independently
+        # built graphs with identical CSR arrays compare equal, so they have
+        # to land in the same hash bucket.  The memoized fingerprint covers
+        # exactly the arrays __eq__ compares (names are excluded from both).
+        return hash(self.fingerprint())

@@ -31,7 +31,7 @@ Three partitioners ship:
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Tuple
 
 import numpy as np
@@ -51,6 +51,7 @@ __all__ = [
     "range_partition",
     "degree_balanced_partition",
     "partition_graph",
+    "patch_partition",
 ]
 
 #: Default halo depth — the paper's stage lengths are ``l1 = l2 = 3``, so a
@@ -362,3 +363,63 @@ def partition_graph(
         assignments=assignments,
         shards=tuple(shards),
     )
+
+
+def _build_shard(
+    graph: CSRGraph, shard_id: int, owned: np.ndarray, halo_depth: int
+) -> GraphShard:
+    """Materialise one shard (halo expansion + induced sub-graph) on ``graph``."""
+    members = _expand_with_halo(graph, owned, halo_depth)
+    subgraph = Subgraph.induced(graph, members, name=f"{graph.name}:shard{shard_id}")
+    owned_local_mask = np.isin(members, owned, assume_unique=True)
+    return GraphShard(
+        shard_id=shard_id,
+        owned=owned,
+        subgraph=subgraph,
+        owned_local_mask=owned_local_mask,
+    )
+
+
+def patch_partition(
+    partition: GraphPartition, new_graph: CSRGraph, distances: np.ndarray
+) -> Tuple[GraphPartition, Tuple[int, ...]]:
+    """Incrementally re-partition after an edge update; returns
+    ``(patched partition, rebuilt shard ids)``.
+
+    ``distances[node]`` is a conservative hop distance to the nearest
+    endpoint the update touched, minimised over the old **and** new topology
+    (:func:`repro.graph.delta.update_distance_bound`).  Node assignments are
+    kept — edge ops never change the node set, and every shipped partitioner
+    assigns by node id or by pre-update degree, which routing must keep
+    stable for cached state to survive.  A shard is re-extracted only when
+    some owned node is within ``halo_depth`` of a touched endpoint: any
+    change to the shard's membership (halo ring) or induced edges requires a
+    touched endpoint within ``halo_depth`` of the owned set on one of the
+    two topologies, so an unaffected shard's halo-extended sub-graph is
+    byte-identical on ``new_graph`` and its :class:`GraphShard` is reused
+    as-is.
+    """
+    host = partition.host
+    if new_graph.num_nodes != host.num_nodes:
+        raise ValueError(
+            f"edge updates cannot change the node set: partition hosts "
+            f"{host.num_nodes} nodes, new graph has {new_graph.num_nodes}"
+        )
+    shards: List[GraphShard] = []
+    rebuilt: List[int] = []
+    for shard in partition.shards:
+        affected = (
+            shard.owned.size > 0
+            and int(distances[shard.owned].min()) <= partition.halo_depth
+        )
+        if affected:
+            shards.append(
+                _build_shard(
+                    new_graph, shard.shard_id, shard.owned, partition.halo_depth
+                )
+            )
+            rebuilt.append(shard.shard_id)
+        else:
+            shards.append(shard)
+    patched = replace(partition, host=new_graph, shards=tuple(shards))
+    return patched, tuple(rebuilt)

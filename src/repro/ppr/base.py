@@ -113,6 +113,23 @@ class PPRSolver(abc.ABC):
         """The host graph."""
         return self._graph
 
+    def rebind_graph(self, graph: CSRGraph) -> None:
+        """Point the solver at an updated host graph.
+
+        Solvers read ``self._graph`` per call and keep no cross-call state
+        derived from it (per-graph operator state is memoized on the graph
+        object itself), so swapping the binding between calls is safe.  The
+        serving engine's :meth:`~repro.serving.engine.QueryEngine.apply_update`
+        calls this under its writer barrier after compacting an edge-update
+        batch; the node set must be unchanged.
+        """
+        if graph.num_nodes != self._graph.num_nodes:
+            raise ValueError(
+                f"rebind_graph cannot change the node set: solver holds "
+                f"{self._graph.num_nodes} nodes, got {graph.num_nodes}"
+            )
+        self._graph = graph
+
     @abc.abstractmethod
     def solve(self, query: PPRQuery) -> PPRResult:
         """Answer one PPR query."""

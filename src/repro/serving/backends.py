@@ -612,6 +612,42 @@ class ProcessPoolBackend(ExecutionBackend):
             self._bound_partition = partition
             self._ensure_running()
 
+    def rebind_graph(self, graph) -> None:
+        """Swap the bound host graph after an in-place edge update.
+
+        Tears the pool down and re-arms the stored binding: the next
+        dispatch respawns workers attached to the *new* graph's shared
+        buffers.  Worker-side caches die with the old processes — after a
+        topology change that cold start is the price of correctness, and
+        the respawn happens under the engine's writer barrier so no batch
+        observes a half-swapped pool.
+        """
+        with self._state_lock:
+            if self._bound_graph is None:
+                raise RuntimeError(
+                    "backend has no bound graph to rebind; call bind_graph() first"
+                )
+            self.close()
+            self._bound_graph = graph
+            self._bound_partition = None
+
+    def rebind_partition(self, partition) -> None:
+        """Swap the bound partition after an in-place edge update.
+
+        Same lifecycle as :meth:`rebind_graph`: close the pool, store the
+        patched partition, let the next dispatch respawn workers against
+        the new shard buffers.
+        """
+        with self._state_lock:
+            if self._bound_partition is None:
+                raise RuntimeError(
+                    "backend has no bound partition to rebind; call "
+                    "bind_partition() first"
+                )
+            self.close()
+            self._bound_partition = partition
+            self._bound_graph = None
+
     # ------------------------------------------------------------------
     # Pool lifecycle
     # ------------------------------------------------------------------

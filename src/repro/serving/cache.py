@@ -244,6 +244,51 @@ class SubgraphCache:
         self.put(center, depth, subgraph, bfs)
         return subgraph, bfs, False
 
+    def max_depth(self) -> int:
+        """Largest extraction depth among retained entries (0 when empty).
+
+        The engine's live-update path uses this to size its BFS reach
+        bound: distances only need resolving up to the deepest ego ball any
+        cached entry could cover.
+        """
+        with self._lock:
+            return max((key[1] for key in self._entries), default=0)
+
+    def invalidate_covering(self, distances) -> int:
+        """Drop every entry whose ego ball can contain an updated node.
+
+        ``distances[node]`` is a conservative hop distance to the nearest
+        endpoint an edge update touched (see
+        :func:`repro.graph.delta.update_distance_bound`); an entry keyed
+        ``(center, depth)`` is dropped exactly when
+        ``distances[center] <= depth`` — every survivor's extraction is
+        provably byte-identical on the updated topology.  Returns the number
+        of entries dropped; like explicit invalidation elsewhere, these are
+        not counted as evictions (the budget did not force them).
+        """
+        with self._lock:
+            dead = [
+                key
+                for key in self._entries
+                if int(distances[key[0]]) <= key[1]
+            ]
+            for key in dead:
+                _, _, dropped = self._entries.pop(key)
+                self._current_bytes -= dropped
+            return len(dead)
+
+    def rebind(self, graph: CSRGraph) -> None:
+        """Re-point the cache at a new host graph, keeping surviving entries.
+
+        The live-update path: after :meth:`invalidate_covering` has dropped
+        every entry the topology change could affect, the survivors are
+        bit-identical to fresh extractions on ``graph``, so the binding can
+        move without a cold restart.  (Use :meth:`clear` for an unrelated
+        graph.)
+        """
+        with self._lock:
+            self._graph = graph
+
     def validate(self) -> None:
         """Check the internal invariants, raising ``AssertionError`` on drift.
 

@@ -39,6 +39,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.diffusion.kernels import DiffusionKernel, resolve_kernel_name
+from repro.graph.delta import (
+    DeltaGraph,
+    EdgeOp,
+    normalize_edge_ops,
+    update_distance_bound,
+)
 from repro.meloppr.planner import MeLoPPRPlan, default_extract, execute_plan
 from repro.ppr.base import PPRQuery, PPRResult, PPRSolver
 from repro.serving.backends import ExecutionBackend, SerialBackend
@@ -268,6 +274,16 @@ class QueryEngine:
         # snapshotting and resets all serialise on this lock so per-interval
         # metrics can never under- or over-count a batch.
         self._stats_lock = threading.Lock()
+        # Streaming edge updates swap the topology under live traffic.  The
+        # swap must be atomic with respect to whole batches — a batch that
+        # starts on graph G finishes on graph G — so updates take a writer
+        # barrier: solve_batch registers as a reader (many at once), and
+        # apply_update waits until no batch is in flight, blocks new ones,
+        # swaps, then releases.  Writer-preference (readers queue behind a
+        # waiting writer) keeps a busy engine from starving updates.
+        self._update_lock = threading.Condition(threading.Lock())
+        self._active_batches = 0
+        self._updating = False
         # The result-cache key includes the host graph's structural
         # fingerprint; force the (memoised) hash now so a multi-GB graph
         # charges it to engine construction, not to the first query's
@@ -367,20 +383,32 @@ class QueryEngine:
         queries = list(queries)
         if not queries:
             return []
-        start = time.perf_counter()
-        if contexts is None:
-            results = self._backend.map(self._solve_one, queries)
-        else:
-            contexts = list(contexts)
-            if len(contexts) != len(queries):
-                raise ValueError(
-                    f"contexts length {len(contexts)} != queries length "
-                    f"{len(queries)}"
+        # Register as a reader against the update barrier: the whole batch
+        # runs on one topology, and a waiting writer blocks new batches.
+        with self._update_lock:
+            while self._updating:
+                self._update_lock.wait()
+            self._active_batches += 1
+        try:
+            start = time.perf_counter()
+            if contexts is None:
+                results = self._backend.map(self._solve_one, queries)
+            else:
+                contexts = list(contexts)
+                if len(contexts) != len(queries):
+                    raise ValueError(
+                        f"contexts length {len(contexts)} != queries length "
+                        f"{len(queries)}"
+                    )
+                results = self._backend.map(
+                    self._solve_traced, list(zip(queries, contexts))
                 )
-            results = self._backend.map(
-                self._solve_traced, list(zip(queries, contexts))
-            )
-        wall = time.perf_counter() - start
+            wall = time.perf_counter() - start
+        finally:
+            with self._update_lock:
+                self._active_batches -= 1
+                if self._active_batches == 0:
+                    self._update_lock.notify_all()
 
         with self._stats_lock:
             stats = self._stats
@@ -394,6 +422,110 @@ class QueryEngine:
                 stats.max_latency_seconds = max(stats.max_latency_seconds, latency)
                 self._latency.record(latency)
         return results
+
+    def apply_update(self, ops: Sequence[EdgeOp]) -> Dict[str, object]:
+        """Apply a batch of edge ops to the live graph, surgically.
+
+        The batch (``("insert"|"delete", u, v)`` tuples or the equivalent
+        dicts — see :func:`repro.graph.delta.normalize_edge_ops`) is
+        validated, overlaid on the current topology through a
+        :class:`~repro.graph.delta.DeltaGraph`, and compacted into a fresh
+        canonical CSR — bit-identical to rebuilding from scratch, so every
+        fingerprint-keyed artefact behaves exactly as if the graph had been
+        reloaded.  Instead of clearing the caches, the engine then
+        invalidates *surgically*: a conservative hop-distance bound from the
+        touched endpoints (minimised over the old and new topology) proves
+        which cached ego sub-graphs, stage-one score tables and shards the
+        update can possibly reach, and only those are dropped or rebuilt —
+        everything else survives, with result-cache keys rewritten to the
+        new fingerprint.
+
+        Runs under the engine's writer barrier: in-flight batches finish on
+        the old graph, new batches wait for the swap (writer-preferred, so a
+        busy engine cannot starve updates).  Validation failures raise
+        ``ValueError`` before anything is swapped — the engine state is
+        untouched.  Returns an outcome report for the admin surface.
+        """
+        canonical = normalize_edge_ops(ops, self._solver.graph.num_nodes)
+        with self._update_lock:
+            while self._updating:
+                self._update_lock.wait()
+            self._updating = True
+            while self._active_batches:
+                self._update_lock.wait()
+        try:
+            return self._apply_update_barriered(canonical)
+        finally:
+            with self._update_lock:
+                self._updating = False
+                self._update_lock.notify_all()
+
+    def _apply_update_barriered(
+        self, canonical: List[EdgeOp]
+    ) -> Dict[str, object]:
+        """The swap itself; caller holds the writer barrier."""
+        old_graph = self._solver.graph
+        old_fingerprint = old_graph.fingerprint()
+        delta = DeltaGraph(old_graph)
+        # Existence validation happens here, against the live topology, and
+        # is all-or-nothing per DeltaGraph.apply — a bad op raises before
+        # any cache or binding is touched.
+        delta.apply(canonical)
+        new_graph = delta.compact()
+        new_fingerprint = new_graph.fingerprint()
+        touched = delta.touched_nodes()
+        # Distances only need resolving out to the deepest cached artefact
+        # (and the halo test, when sharded); beyond that every entry
+        # trivially survives.
+        radius = 0
+        if self._cache is not None:
+            radius = max(radius, self._cache.max_depth())
+        if self._result_cache is not None:
+            radius = max(radius, self._result_cache.max_stage_one_length())
+        if self._router is not None:
+            radius = max(radius, self._router.update_radius())
+        distances = update_distance_bound(old_graph, new_graph, touched, radius)
+        invalidated = {
+            "shards_rebuilt": 0,
+            "subgraph_entries_dropped": 0,
+            "result_entries_dropped": 0,
+            "result_entries_rekeyed": 0,
+        }
+        if self._cache is not None:
+            invalidated["subgraph_entries_dropped"] += (
+                self._cache.invalidate_covering(distances)
+            )
+            self._cache.rebind(new_graph)
+        if self._result_cache is not None:
+            dropped, rekeyed = self._result_cache.apply_update(
+                old_fingerprint, new_fingerprint, distances
+            )
+            invalidated["result_entries_dropped"] += dropped
+            invalidated["result_entries_rekeyed"] += rekeyed
+        if self._router is not None:
+            router_outcome = self._router.apply_update(
+                new_graph, old_fingerprint, new_fingerprint, distances
+            )
+            for key, value in router_outcome.items():
+                invalidated[key] += value
+        self._solver.rebind_graph(new_graph)
+        if getattr(self._backend, "executes_stage_tasks", False):
+            # Stage-task workers hold the old shared buffers; swap their
+            # binding so the next dispatch respawns against the new graph.
+            if self._router is not None:
+                self._backend.rebind_partition(self._router.partition)
+            else:
+                self._backend.rebind_graph(new_graph)
+        return {
+            "ops": len(canonical),
+            "touched_nodes": int(touched.size),
+            "radius": int(radius),
+            "old_fingerprint": old_fingerprint,
+            "new_fingerprint": new_fingerprint,
+            "num_nodes": int(new_graph.num_nodes),
+            "num_edges": int(new_graph.num_edges),
+            "invalidated": invalidated,
+        }
 
     def _solve_traced(self, job) -> PPRResult:
         """Backend-map adapter for ``(query, context)`` pairs."""

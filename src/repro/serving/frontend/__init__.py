@@ -81,7 +81,12 @@ from repro.serving.frontend.metrics import (
     parse_prometheus_text,
     render_prometheus,
 )
-from repro.serving.frontend.ops import RELOADABLE_KEYS, apply_reload, frontend_config
+from repro.serving.frontend.ops import (
+    RELOADABLE_KEYS,
+    apply_graph_update,
+    apply_reload,
+    frontend_config,
+)
 from repro.serving.frontend.request_log import (
     REQUEST_LOGGER_NAME,
     configure_logging,
@@ -136,6 +141,7 @@ __all__ = [
     "TraceRecord",
     "WorkloadRecorder",
     "add_serving_arguments",
+    "apply_graph_update",
     "apply_reload",
     "build_frontend",
     "build_serving_parser",

@@ -68,7 +68,7 @@ from typing import (
 from repro.serving.frontend.admission import QueryRejectedError
 from repro.serving.frontend.batcher import MicroBatcher
 from repro.serving.frontend.metrics import render_prometheus
-from repro.serving.frontend.ops import apply_reload
+from repro.serving.frontend.ops import apply_graph_update, apply_reload
 from repro.serving.frontend.protocol import PROTOCOL_VERSION
 from repro.serving.frontend.request_log import log_request
 from repro.serving.frontend.server import parse_query_request
@@ -542,6 +542,7 @@ class HttpQueryServer(BaseHttpServer):
             "/metrics": "GET",
             "/admin/drain": "POST",
             "/admin/reload": "POST",
+            "/admin/update": "POST",
             "/debug/traces": "GET",
             "/debug/traces/perfetto": "GET",
         }
@@ -587,6 +588,26 @@ class HttpQueryServer(BaseHttpServer):
             try:
                 overrides = self._parse_json_body(body)
                 outcome = apply_reload(self._batcher, overrides)
+            except ValueError as exc:
+                return (
+                    400,
+                    {"ok": False, "error": "bad_request", "message": str(exc)},
+                    json_type,
+                )
+            return 200, {"ok": True, **outcome}, json_type
+        if path == "/admin/update":
+            loop = asyncio.get_running_loop()
+            try:
+                request = self._parse_json_body(body)
+                # The writer barrier blocks until in-flight batches finish —
+                # run it off the event loop, or it would deadlock against
+                # the very batch the loop is completing.
+                outcome = await loop.run_in_executor(
+                    None,
+                    apply_graph_update,
+                    self._batcher,
+                    request.get("ops", []),
+                )
             except ValueError as exc:
                 return (
                     400,

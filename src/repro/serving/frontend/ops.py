@@ -36,7 +36,12 @@ from typing import Dict, List, Optional
 
 from repro.serving.frontend.batcher import MicroBatcher
 
-__all__ = ["RELOADABLE_KEYS", "apply_reload", "frontend_config"]
+__all__ = [
+    "RELOADABLE_KEYS",
+    "apply_graph_update",
+    "apply_reload",
+    "frontend_config",
+]
 
 #: The override keys :func:`apply_reload` understands.
 RELOADABLE_KEYS = (
@@ -231,3 +236,25 @@ def apply_reload(
         "evicted": evicted,
         "config": frontend_config(batcher),
     }
+
+
+def apply_graph_update(batcher: MicroBatcher, ops: object) -> Dict[str, object]:
+    """Apply a streaming edge-update batch through the running frontend.
+
+    The transport-agnostic body of ``POST /admin/update`` and the TCP
+    ``update`` op: ``ops`` is the request's edge-op list (dicts like
+    ``{"op": "insert", "u": 3, "v": 17}`` straight from JSON), validated and
+    applied by :meth:`~repro.serving.engine.QueryEngine.apply_update` under
+    the engine's writer barrier.  Invalid batches raise ``ValueError``
+    without touching the engine.
+
+    **Blocking**: the writer barrier waits for in-flight batches, so the
+    async servers must call this through ``run_in_executor`` — on the event
+    loop it would deadlock against the batch the loop is waiting on.
+    """
+    if not isinstance(ops, list):
+        raise ValueError(
+            f"update ops must be a JSON array of edge ops, "
+            f"got {type(ops).__name__}"
+        )
+    return batcher.engine.apply_update(ops)

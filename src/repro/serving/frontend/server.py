@@ -47,7 +47,7 @@ from repro.serving.frontend.admission import (
 from repro.serving.frontend.batcher import BatchPolicy, MicroBatcher
 from repro.serving.frontend.config import ServingConfig, build_serving_parser
 from repro.serving.frontend.config import build_frontend as _build_frontend
-from repro.serving.frontend.ops import apply_reload
+from repro.serving.frontend.ops import apply_graph_update, apply_reload
 from repro.serving.frontend.protocol import (
     CAPABILITIES,
     PROTOCOL_VERSION,
@@ -390,6 +390,17 @@ class AsyncQueryServer:
                     self._batcher, request.get("config", {})
                 )
                 return {"id": request_id, "ok": True, "op": "reload", **outcome}
+            if op == "update":
+                # The writer barrier blocks until in-flight batches finish —
+                # run it off the event loop, or it would deadlock against
+                # the very batch the loop is completing.
+                outcome = await loop.run_in_executor(
+                    None,
+                    apply_graph_update,
+                    self._batcher,
+                    request.get("ops", []),
+                )
+                return {"id": request_id, "ok": True, "op": "update", **outcome}
             if op == "traces":
                 tracer = self._batcher.engine.tracer
                 if tracer is None:

@@ -232,13 +232,23 @@ class ScoreTableCache:
             return len(self._entries)
 
     def __contains__(self, key: Tuple[Hashable, ...]) -> bool:
-        """Whether ``key`` holds an entry a :meth:`get` would actually serve
-        (a TTL-expired entry still occupying bytes answers ``False``)."""
+        """Whether ``key`` holds an entry a :meth:`get` would actually serve.
+
+        Finding the entry TTL-expired drops it on the spot (bytes freed,
+        counted in ``stats.expired``) — answering ``False`` while leaving
+        the bytes charged would let a never-re-requested key pin the budget.
+        Not counted as a hit or miss: membership probes are not lookups.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 return False
-            return not self._is_expired(entry[2])
+            if self._is_expired(entry[2]):
+                del self._entries[key]
+                self._current_bytes -= entry[1]
+                self._expired += 1
+                return False
+            return True
 
     def _is_expired(self, stored_at: float) -> bool:
         """Whether an entry stored at ``stored_at`` has outlived the TTL."""
@@ -246,6 +256,26 @@ class ScoreTableCache:
             self._ttl_seconds is not None
             and self._clock() - stored_at >= self._ttl_seconds
         )
+
+    def _sweep_expired_locked(self) -> int:
+        """Drop every TTL-expired entry (caller holds the lock).
+
+        Shared by :meth:`put` and :meth:`resize` so budget pressure always
+        reclaims dead bytes before evicting live entries, and so the two
+        outcomes are counted apart (``stats.expired`` vs ``stats.evictions``).
+        """
+        if self._ttl_seconds is None:
+            return 0
+        dead = [
+            entry_key
+            for entry_key, (_, _, stored_at) in self._entries.items()
+            if self._is_expired(stored_at)
+        ]
+        for entry_key in dead:
+            _, dropped, _ = self._entries.pop(entry_key)
+            self._current_bytes -= dropped
+            self._expired += 1
+        return len(dead)
 
     # ------------------------------------------------------------------
     def get(self, key: Tuple[Hashable, ...]) -> Optional[StageOneState]:
@@ -277,19 +307,9 @@ class ScoreTableCache:
             if previous is not None:
                 self._current_bytes -= previous[1]
             # Reclaim entries whose TTL already passed before evicting live
-            # ones — and count the two outcomes apart, so eviction metrics
-            # never blame budget pressure for ordinary expiry (expired
-            # entries are otherwise only swept by a get() of their own key).
-            if self._ttl_seconds is not None:
-                dead = [
-                    entry_key
-                    for entry_key, (_, _, stored_at) in self._entries.items()
-                    if self._is_expired(stored_at)
-                ]
-                for entry_key in dead:
-                    _, dropped, _ = self._entries.pop(entry_key)
-                    self._current_bytes -= dropped
-                    self._expired += 1
+            # ones — eviction metrics must never blame budget pressure for
+            # ordinary expiry.
+            self._sweep_expired_locked()
             while self._entries and self._current_bytes + nbytes > self._max_bytes:
                 _, (_, dropped, _) = self._entries.popitem(last=False)
                 self._current_bytes -= dropped
@@ -304,12 +324,15 @@ class ScoreTableCache:
         The hot-reload path of a live server: shrinking evicts (counted in
         ``stats.evictions``) until the retained bytes fit, growing just
         raises the ceiling — surviving entries stay warm.  Returns the
-        number of evictions the resize forced.
+        number of evictions the resize forced.  TTL-expired entries are
+        swept first, so a shrink never evicts a live entry to keep a dead
+        one's bytes.
         """
         if max_bytes <= 0:
             raise ValueError(f"max_bytes must be > 0, got {max_bytes}")
         with self._lock:
             self._max_bytes = int(max_bytes)
+            self._sweep_expired_locked()
             evicted = 0
             while self._entries and self._current_bytes > self._max_bytes:
                 _, (_, dropped, _) = self._entries.popitem(last=False)
@@ -317,6 +340,55 @@ class ScoreTableCache:
                 self._evictions += 1
                 evicted += 1
             return evicted
+
+    def max_stage_one_length(self) -> int:
+        """Largest stage-one length among retained entries (0 when empty).
+
+        Keys are :func:`stage_one_cache_key` tuples, whose second element is
+        the realised stage split — its first stage is the radius of the ego
+        ball the cached state was folded from.  The engine's live-update
+        path uses this to size its BFS reach bound.
+        """
+        with self._lock:
+            return max((int(key[1][0]) for key in self._entries), default=0)
+
+    def apply_update(
+        self, old_fingerprint: str, new_fingerprint: str, distances
+    ) -> Tuple[int, int]:
+        """Surgically migrate the cache across a topology update.
+
+        ``distances[node]`` is a conservative hop distance to the nearest
+        endpoint the update touched (see
+        :func:`repro.graph.delta.update_distance_bound`).  Every entry keyed
+        to ``old_fingerprint`` whose seed lies within its stage-one radius
+        of a touched endpoint (``distances[seed] <= stage_one_length``) is
+        dropped — its folded state could differ on the new topology.  Every
+        other entry is **re-keyed** in place to ``new_fingerprint``
+        (preserving LRU order and stored-at times): its stage-one ego ball
+        contains no updated row on either topology, so the folded state is
+        byte-identical to what the new graph would compute.  Returns
+        ``(dropped, rekeyed)``; drops are explicit invalidations, not
+        evictions.
+        """
+        dropped = 0
+        rekeyed = 0
+        with self._lock:
+            migrated: "OrderedDict[Tuple[Hashable, ...], Tuple[StageOneState, int, float]]" = (
+                OrderedDict()
+            )
+            for key, value in self._entries.items():
+                if key[-1] == old_fingerprint:
+                    seed = int(key[0])
+                    stage_one_length = int(key[1][0])
+                    if int(distances[seed]) <= stage_one_length:
+                        self._current_bytes -= value[1]
+                        dropped += 1
+                        continue
+                    key = key[:-1] + (new_fingerprint,)
+                    rekeyed += 1
+                migrated[key] = value
+            self._entries = migrated
+        return dropped, rekeyed
 
     def invalidate(self, key: Tuple[Hashable, ...]) -> bool:
         """Explicitly drop one entry; returns whether it was present.

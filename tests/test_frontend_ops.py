@@ -251,3 +251,36 @@ class TestLivePlumbing:
         result_cache = ScoreTableCache()
         with pytest.raises(ValueError):
             result_cache.resize(-5)
+
+
+class TestApplyGraphUpdate:
+    """The transport-agnostic path behind ``POST /admin/update`` and the
+    TCP ``update`` op."""
+
+    def test_applies_through_the_engine(self, small_ba_graph, config):
+        from repro.graph.csr import CSRGraph
+        from repro.serving.frontend import apply_graph_update
+
+        batcher = make_batcher(small_ba_graph, config, cache=SubgraphCache())
+        u, v = 0, int(small_ba_graph.neighbors(0)[0])
+        canonical = (min(u, v), max(u, v))
+        remaining = [
+            edge for edge in small_ba_graph.iter_edges() if edge != canonical
+        ]
+        rebuilt = CSRGraph.from_edges(small_ba_graph.num_nodes, remaining)
+        outcome = apply_graph_update(batcher, [["delete", u, v]])
+        assert outcome["ops"] == 1
+        assert outcome["new_fingerprint"] == rebuilt.fingerprint()
+        assert batcher.engine.solver.graph.fingerprint() == rebuilt.fingerprint()
+
+    def test_rejects_non_list_payload(self, small_ba_graph, config):
+        from repro.serving.frontend import apply_graph_update
+
+        batcher = make_batcher(small_ba_graph, config)
+        fingerprint = batcher.engine.solver.graph.fingerprint()
+        for bad in ({"op": "insert", "u": 0, "v": 1}, "insert", 7, None):
+            with pytest.raises(ValueError, match="JSON array"):
+                apply_graph_update(batcher, bad)
+        with pytest.raises(ValueError, match="at least one"):
+            apply_graph_update(batcher, [])
+        assert batcher.engine.solver.graph.fingerprint() == fingerprint

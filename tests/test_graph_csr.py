@@ -148,3 +148,30 @@ class TestFingerprint:
     def test_fingerprint_is_memoised(self, triangle_graph):
         assert triangle_graph.fingerprint() is triangle_graph.fingerprint()
         assert len(triangle_graph.fingerprint()) == 32
+
+
+class TestHashContract:
+    """``__hash__`` must agree with the structural ``__eq__``.
+
+    Regression: hashing used to fall back to object identity, so two equal
+    rebuilt graphs landed in different dict/set buckets and fingerprint-keyed
+    memo tables silently duplicated (or missed) entries.
+    """
+
+    def test_equal_rebuilt_graphs_hash_equal(self):
+        a = CSRGraph.from_edges(4, [(0, 1), (1, 2)], name="first")
+        b = CSRGraph.from_edges(4, [(0, 1), (1, 2)], name="rebuilt-elsewhere")
+        assert a == b
+        assert hash(a) == hash(b)
+        # The dict/set contract actually holds: equal graphs collide.
+        assert len({a, b}) == 1
+        table = {a: "cached"}
+        assert table[b] == "cached"
+
+    def test_hash_derives_from_fingerprint(self, triangle_graph):
+        assert hash(triangle_graph) == hash(triangle_graph.fingerprint())
+
+    def test_different_topology_distinct_in_sets(self):
+        a = CSRGraph.from_edges(3, [(0, 1)])
+        c = CSRGraph.from_edges(3, [(1, 2)])
+        assert len({a, c}) == 2

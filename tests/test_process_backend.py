@@ -346,3 +346,57 @@ class TestWorkerStateInProcess:
         substitute = _picklable_exception(Unpicklable("boom"))
         assert isinstance(substitute, RuntimeError)
         assert "Unpicklable" in str(substitute)
+
+
+class TestRebind:
+    """Live-update rebinding: swap the bound topology, respawn cold workers."""
+
+    def test_rebind_graph_swaps_topology(self, graph, queries):
+        edge = next(iter(graph.iter_edges()))
+        remaining = [e for e in graph.iter_edges() if e != edge]
+        updated = type(graph).from_edges(graph.num_nodes, remaining, name=graph.name)
+        with ProcessPoolBackend(num_workers=2) as backend:
+            backend.bind_graph(graph)
+            solver = MeLoPPRSolver(graph)
+            run_with_timeout(lambda: backend.map(solver.solve, queries[:2]))
+            backend.rebind_graph(updated)
+            # Unlike bind_graph, rebinding to a different topology is the
+            # whole point; the next dispatch respawns workers on it.
+            results = run_with_timeout(
+                lambda: backend.map(MeLoPPRSolver(updated).solve, queries[:2])
+            )
+            expected = MeLoPPRSolver(updated).solve(queries[0])
+            assert dict(results[0].scores.items()) == dict(
+                expected.scores.items()
+            )
+
+    def test_rebind_partition_swaps_partition(self, graph, queries):
+        partition = partition_graph(graph, 2, halo_depth=3)
+        edge = next(iter(graph.iter_edges()))
+        remaining = [e for e in graph.iter_edges() if e != edge]
+        updated = type(graph).from_edges(graph.num_nodes, remaining, name=graph.name)
+        repartition = partition_graph(updated, 2, halo_depth=3)
+        with ProcessPoolBackend(num_workers=2) as backend:
+            backend.bind_partition(partition)
+            solver = MeLoPPRSolver(graph)
+            run_with_timeout(lambda: backend.map(solver.solve, queries[:2]))
+            backend.rebind_partition(repartition)
+            results = run_with_timeout(
+                lambda: backend.map(MeLoPPRSolver(updated).solve, queries[:2])
+            )
+            expected = MeLoPPRSolver(updated).solve(queries[0])
+            assert dict(results[0].scores.items()) == dict(
+                expected.scores.items()
+            )
+
+    def test_rebind_without_binding_raises(self, graph):
+        partition = partition_graph(graph, 2, halo_depth=3)
+        with ProcessPoolBackend(num_workers=2) as backend:
+            with pytest.raises(RuntimeError, match="bind_graph"):
+                backend.rebind_graph(graph)
+            with pytest.raises(RuntimeError, match="bind_partition"):
+                backend.rebind_partition(partition)
+            # Crossing binding kinds is also a rebind error.
+            backend.bind_graph(graph)
+            with pytest.raises(RuntimeError, match="bind_partition"):
+                backend.rebind_partition(partition)

@@ -104,9 +104,8 @@ class TestScoreTableCacheContainer:
         cache = ScoreTableCache(max_bytes=budget, ttl_seconds=10.0, clock=lambda: now[0])
         cache.put(*states[0])
         now[0] = 11.0  # first entry is dead but unswept
-        assert states[0][0] not in cache  # contains is TTL-aware
-        assert len(cache) == 1  # ...but the bytes still sit in the budget
-        cache.put(*states[1])
+        assert len(cache) == 1  # the dead bytes still sit in the budget
+        cache.put(*states[1])  # ...until put() sweeps them
         cache.validate()
         stats = cache.stats
         # The dead entry was reclaimed as 'expired', not blamed on the budget.
@@ -430,3 +429,166 @@ class TestInvalidationRegressions:
                 router=router,
                 result_cache=ScoreTableCache(),
             )
+
+
+class FakeClock:
+    """Injected monotonic clock for deterministic TTL tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTTLBudgetPinning:
+    """Expired entries must free their bytes on every probe path.
+
+    Regression: ``__contains__`` used to answer ``False`` for a TTL-expired
+    entry while leaving it (and its bytes) in the table, and ``put``/
+    ``resize`` evicted *live* LRU entries under budget pressure while dead
+    ones kept pinning the budget.
+    """
+
+    def test_contains_frees_expired_bytes(self, small_ba_graph):
+        clock = FakeClock()
+        cache = ScoreTableCache(ttl_seconds=10.0, clock=clock)
+        key, state = make_state(small_ba_graph)
+        cache.put(key, state)
+        assert key in cache
+        assert cache.stats.current_bytes == _entry_nbytes(state)
+        clock.advance(10.0)
+        assert key not in cache
+        stats = cache.stats
+        assert stats.current_bytes == 0
+        assert len(cache) == 0
+        assert stats.expired == 1
+        # Membership probes are not lookups: hit/miss counters untouched.
+        assert stats.hits == 0 and stats.misses == 0
+        cache.validate()
+
+    def test_put_sweeps_expired_before_evicting_live(self, small_ba_graph):
+        clock = FakeClock()
+        states = [make_state(small_ba_graph, seed=seed) for seed in (1, 2, 3)]
+        budget = sum(_entry_nbytes(state) for _, state in states)
+        cache = ScoreTableCache(max_bytes=budget, ttl_seconds=5.0, clock=clock)
+        for key, state in states[:2]:
+            cache.put(key, state)
+        clock.advance(5.0)  # both stored entries are now dead
+        assert cache.put(*states[2])
+        stats = cache.stats
+        # The dead bytes were reclaimed as expiry, never as eviction.
+        assert stats.expired == 2
+        assert stats.evictions == 0
+        assert len(cache) == 1
+        assert stats.current_bytes == _entry_nbytes(states[2][1])
+        assert cache.get(states[2][0]) is states[2][1]
+        cache.validate()
+
+    def test_resize_sweeps_expired_before_evicting_live(self, small_ba_graph):
+        clock = FakeClock()
+        old_key, old_state = make_state(small_ba_graph, seed=1)
+        live_key, live_state = make_state(small_ba_graph, seed=2)
+        cache = ScoreTableCache(ttl_seconds=5.0, clock=clock)
+        cache.put(old_key, old_state)
+        clock.advance(5.0)
+        cache.put(live_key, live_state)
+        # Shrink to exactly the live entry: the dead entry's bytes must not
+        # force the live one out.
+        assert cache.resize(_entry_nbytes(live_state)) == 0
+        stats = cache.stats
+        assert stats.expired == 1
+        assert stats.evictions == 0
+        assert cache.get(live_key) is live_state
+        cache.validate()
+
+    def test_get_expired_is_miss_and_frees(self, small_ba_graph):
+        clock = FakeClock()
+        cache = ScoreTableCache(ttl_seconds=2.0, clock=clock)
+        key, state = make_state(small_ba_graph)
+        cache.put(key, state)
+        clock.advance(2.0)
+        assert cache.get(key) is None
+        stats = cache.stats
+        assert stats.expired == 1 and stats.misses == 1
+        assert stats.current_bytes == 0
+        cache.validate()
+
+
+class TestApplyUpdateMigration:
+    """Surgical cross-topology migration: drop in-reach, rekey the rest."""
+
+    def setup_entries(self, graph, seeds=(1, 2, 3)):
+        cache = ScoreTableCache()
+        keys = {}
+        for seed in seeds:
+            key, state = make_state(graph, seed=seed)
+            assert cache.put(key, state)
+            keys[seed] = (key, state)
+        return cache, keys
+
+    def test_drop_in_reach_rekey_the_rest(self, small_ba_graph):
+        import numpy as np
+
+        cache, keys = self.setup_entries(small_ba_graph)
+        old_fp = small_ba_graph.fingerprint()
+        stage_one = int(keys[1][0][1][0])
+        # Seed 2 is within its stage-one reach of the update; 1 and 3 are not.
+        distances = np.full(
+            small_ba_graph.num_nodes, stage_one + 1, dtype=np.int64
+        )
+        distances[2] = stage_one
+        dropped, rekeyed = cache.apply_update(old_fp, "newfp", distances)
+        assert (dropped, rekeyed) == (1, 2)
+        assert len(cache) == 2
+        # Dropped entries are invalidations, not evictions.
+        assert cache.stats.evictions == 0
+        # Survivors answer under the new fingerprint, never the old one.
+        for seed in (1, 3):
+            old_key, state = keys[seed]
+            assert old_key not in cache
+            assert cache.get(old_key[:-1] + ("newfp",)) is state
+        assert keys[2][0] not in cache
+        cache.validate()
+
+    def test_rekey_preserves_lru_order(self, small_ba_graph):
+        import numpy as np
+
+        cache, keys = self.setup_entries(small_ba_graph)
+        budget = cache.stats.current_bytes
+        old_fp = small_ba_graph.fingerprint()
+        distances = np.full(small_ba_graph.num_nodes, 99, dtype=np.int64)
+        dropped, rekeyed = cache.apply_update(old_fp, "newfp", distances)
+        assert (dropped, rekeyed) == (0, 3)
+        assert cache.stats.current_bytes == budget
+        # Shrinking to two entries must evict the *least recent* survivor
+        # (seed 1): rekeying preserved insertion/recency order.
+        cache.resize(budget - 1)
+        assert keys[1][0][:-1] + ("newfp",) not in cache
+        assert keys[2][0][:-1] + ("newfp",) in cache
+        assert keys[3][0][:-1] + ("newfp",) in cache
+        cache.validate()
+
+    def test_foreign_fingerprints_untouched(self, small_ba_graph):
+        import numpy as np
+
+        other = barabasi_albert_graph(
+            small_ba_graph.num_nodes, 2, rng=99, name="other"
+        )
+        cache = ScoreTableCache()
+        host_key, host_state = make_state(small_ba_graph, seed=4)
+        other_key, other_state = make_state(other, seed=4)
+        cache.put(host_key, host_state)
+        cache.put(other_key, other_state)
+        distances = np.zeros(small_ba_graph.num_nodes, dtype=np.int64)
+        dropped, rekeyed = cache.apply_update(
+            small_ba_graph.fingerprint(), "newfp", distances
+        )
+        # The host entry is in reach (distance 0) and drops; the other
+        # graph's entry carries a different fingerprint and is left alone.
+        assert (dropped, rekeyed) == (1, 0)
+        assert cache.get(other_key) is other_state
+        cache.validate()

@@ -138,3 +138,45 @@ class TestCachedExtractionCorrectness:
         )
         np.testing.assert_array_equal(cached.accumulated, fresh.accumulated)
         np.testing.assert_array_equal(cached.residual, fresh.residual)
+
+
+class TestSurgicalInvalidation:
+    def test_max_depth_tracks_retained_entries(self, small_ba_graph):
+        cache = SubgraphCache()
+        assert cache.max_depth() == 0
+        cache.get_or_extract(small_ba_graph, 3, 2)
+        cache.get_or_extract(small_ba_graph, 5, 4)
+        assert cache.max_depth() == 4
+
+    def test_invalidate_covering_drops_exactly_in_reach(self, small_ba_graph):
+        cache = SubgraphCache()
+        cache.get_or_extract(small_ba_graph, 3, 2)
+        cache.get_or_extract(small_ba_graph, 5, 4)
+        distances = np.full(small_ba_graph.num_nodes, 99, dtype=np.int64)
+        distances[3] = 3  # outside its depth-2 ball
+        distances[5] = 4  # exactly on the depth-4 boundary: must drop
+        assert cache.invalidate_covering(distances) == 1
+        assert (3, 2) in cache and (5, 4) not in cache
+        # Drops are invalidations, not evictions, and the bytes are freed.
+        stats = cache.stats
+        assert stats.evictions == 0
+        cache.validate()
+
+    def test_rebind_keeps_survivors_warm(self, small_ba_graph):
+        from repro.graph.csr import CSRGraph
+
+        cache = SubgraphCache()
+        subgraph, bfs, hit = cache.get_or_extract(small_ba_graph, 3, 2)
+        rebuilt = CSRGraph.from_edges(
+            small_ba_graph.num_nodes,
+            list(small_ba_graph.iter_edges()),
+            name=small_ba_graph.name,
+        )
+        cache.rebind(rebuilt)
+        again, _, hit = cache.get_or_extract(rebuilt, 3, 2)
+        assert hit
+        assert again is subgraph
+        assert cache.stats.hits == 1
+        # The binding genuinely moved: the old host is now foreign.
+        with pytest.raises(ValueError):
+            cache.get_or_extract(small_ba_graph, 7, 2)

@@ -579,3 +579,81 @@ class TestSharedBatcherAcrossTransports:
         assert stats.admission.completed == 2
         # The second query hit the sub-graph cache warmed by the first.
         assert stats.engine.cache.hits > 0
+
+
+class TestAdminUpdate:
+    def test_update_applies_and_serves_new_topology(self, small_ba_graph, config):
+        from repro.graph.csr import CSRGraph
+
+        u, v = 0, int(small_ba_graph.neighbors(0)[0])
+        canonical = (min(u, v), max(u, v))
+        remaining = [
+            edge for edge in small_ba_graph.iter_edges() if edge != canonical
+        ]
+        rebuilt = CSRGraph.from_edges(small_ba_graph.num_nodes, remaining)
+        expected = [
+            [int(n), float(s)]
+            for n, s in MeLoPPRSolver(rebuilt, config)
+            .solve(PPRQuery(seed=3, k=20))
+            .top_k()
+        ]
+        engine = QueryEngine(
+            MeLoPPRSolver(small_ba_graph, config), cache=SubgraphCache()
+        )
+
+        async def run():
+            async with serve_http(engine) as (client, _):
+                await client.query({"seed": 3, "k": 20})  # warm the old graph
+                status, body = await client.request_json(
+                    "POST",
+                    "/admin/update",
+                    {"ops": [{"op": "delete", "u": u, "v": v}]},
+                )
+                answer_status, answer = await client.query({"seed": 3, "k": 20})
+                return status, body, answer_status, answer
+
+        with engine:
+            status, body, answer_status, answer = asyncio.run(run())
+        assert status == 200 and body["ok"] is True
+        assert body["ops"] == 1
+        assert body["new_fingerprint"] == rebuilt.fingerprint()
+        assert body["invalidated"]["subgraph_entries_dropped"] >= 0
+        # Post-update answers come from the new topology.
+        assert answer_status == 200
+        assert answer["top"] == expected
+
+    def test_bad_update_is_400_and_changes_nothing(self, small_ba_graph, config):
+        engine = QueryEngine(MeLoPPRSolver(small_ba_graph, config))
+        fingerprint = small_ba_graph.fingerprint()
+
+        async def run():
+            async with serve_http(engine) as (client, _):
+                non_array = await client.request_json(
+                    "POST", "/admin/update", {"ops": {"op": "insert"}}
+                )
+                out_of_range = await client.request_json(
+                    "POST",
+                    "/admin/update",
+                    {"ops": [["insert", 0, 10**9]]},
+                )
+                empty = await client.request_json("POST", "/admin/update", {})
+                return non_array, out_of_range, empty
+
+        with engine:
+            non_array, out_of_range, empty = asyncio.run(run())
+        for status, body in (non_array, out_of_range, empty):
+            assert status == 400
+            assert body["ok"] is False and body["error"] == "bad_request"
+        assert "JSON array" in non_array[1]["message"]
+        assert engine.solver.graph.fingerprint() == fingerprint
+
+    def test_update_requires_post(self, small_ba_graph, config):
+        engine = QueryEngine(MeLoPPRSolver(small_ba_graph, config))
+
+        async def run():
+            async with serve_http(engine) as (client, _):
+                return await client.request_json("GET", "/admin/update", None)
+
+        with engine:
+            status, body = asyncio.run(run())
+        assert status == 405

@@ -704,3 +704,62 @@ class TestTcpLiveOps:
 
         with engine:
             asyncio.run(run())
+
+
+class TestLiveUpdate:
+    def test_update_over_the_wire(self, small_ba_graph, config):
+        from repro.graph.csr import CSRGraph
+
+        u, v = 0, int(small_ba_graph.neighbors(0)[0])
+        canonical = (min(u, v), max(u, v))
+        remaining = [
+            edge for edge in small_ba_graph.iter_edges() if edge != canonical
+        ]
+        rebuilt = CSRGraph.from_edges(small_ba_graph.num_nodes, remaining)
+        query = PPRQuery(seed=3, k=20)
+        expected = [
+            (int(n), float(s))
+            for n, s in MeLoPPRSolver(rebuilt, config).solve(query).top_k()
+        ]
+        engine = QueryEngine(
+            MeLoPPRSolver(small_ba_graph, config), cache=SubgraphCache()
+        )
+
+        async def run():
+            async with serve(engine) as (client, _):
+                await client.solve(seed=3, k=20)  # warm the old topology
+                response = await client.request(
+                    {"op": "update", "ops": [["delete", u, v]]}
+                )
+                answer = await client.solve(seed=3, k=20)
+                return response, answer
+
+        with engine:
+            response, answer = asyncio.run(run())
+        assert response["ok"] is True and response["op"] == "update"
+        assert response["ops"] == 1
+        assert response["new_fingerprint"] == rebuilt.fingerprint()
+        assert response["touched_nodes"] >= 2
+        # Post-update answers come from the new topology, not stale caches.
+        assert answer == expected
+
+    def test_bad_update_is_bad_request_and_changes_nothing(
+        self, small_ba_graph, config
+    ):
+        engine = QueryEngine(MeLoPPRSolver(small_ba_graph, config))
+        fingerprint = small_ba_graph.fingerprint()
+
+        async def run():
+            async with serve(engine) as (client, _):
+                missing = await client.request({"op": "update"})
+                loop = await client.request(
+                    {"op": "update", "ops": [["insert", 2, 2]]}
+                )
+                return missing, loop
+
+        with engine:
+            missing, loop = asyncio.run(run())
+        assert missing["error"] == "bad_request"
+        assert loop["error"] == "bad_request"
+        assert "self-loop" in loop["message"]
+        assert engine.solver.graph.fingerprint() == fingerprint

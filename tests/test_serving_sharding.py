@@ -145,3 +145,46 @@ class TestEngineIntegration:
         serving = result.metadata["serving"]
         assert serving["sharded"] is False
         assert serving["cache_enabled"] is False
+
+
+class TestRouterLiveUpdate:
+    def test_update_radius_covers_caches_and_halo(self, small_ba_graph, partition):
+        router = ShardRouter(partition, result_cache_bytes=1 << 20)
+        assert router.update_radius() == partition.halo_depth
+        # A deeper cached extraction raises the radius above the halo depth.
+        router.extract(small_ba_graph, 7, partition.halo_depth + 2)
+        assert router.update_radius() == partition.halo_depth + 2
+
+    def test_apply_update_patches_and_invalidates(self, small_ba_graph, partition):
+        import numpy as np
+        from repro.graph.csr import CSRGraph
+        from repro.graph.delta import DeltaGraph, update_distance_bound
+
+        router = ShardRouter(partition, result_cache_bytes=1 << 20)
+        for center in (3, 7, 11):
+            router.extract(small_ba_graph, center, 2)
+        delta = DeltaGraph(small_ba_graph)
+        u, v = next(iter(small_ba_graph.iter_edges()))
+        delta.delete_edge(u, v)
+        new_graph = delta.compact()
+        radius = router.update_radius()
+        distances = update_distance_bound(
+            small_ba_graph, new_graph, delta.touched_nodes(), radius
+        )
+        counts = router.apply_update(
+            new_graph,
+            small_ba_graph.fingerprint(),
+            new_graph.fingerprint(),
+            distances,
+        )
+        assert router.partition.host is new_graph
+        assert counts["shards_rebuilt"] >= 1
+        # Every patched shard really lost the deleted edge.
+        for shard in router.partition.shards:
+            members = set(shard.subgraph.global_ids.tolist())
+            if u in members and v in members:
+                assert not shard.subgraph.graph.has_edge(
+                    shard.subgraph.to_local(u), shard.subgraph.to_local(v)
+                )
+        # Extractions against the new host serve without a foreign-graph error.
+        router.extract(new_graph, 3, 2)
